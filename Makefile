@@ -1,0 +1,40 @@
+# Jinjing reproduction — common development targets.
+
+GO ?= go
+
+.PHONY: all build test test-full bench experiments examples vet fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Fast suite: unit + property tests, no evaluation tables.
+test:
+	$(GO) test -short ./...
+
+# Full suite: everything, including the §8 experiment tables (minutes).
+test-full:
+	$(GO) test ./...
+
+# The Figure 4a–4d benchmark harness.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the evaluation tables (small+medium; add -large manually).
+experiments:
+	$(GO) run ./cmd/jinjing-experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/isolation
+
+clean:
+	$(GO) clean ./...

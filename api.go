@@ -1,0 +1,186 @@
+package jinjing
+
+import (
+	"jinjing/internal/acl"
+	"jinjing/internal/core"
+	"jinjing/internal/header"
+	"jinjing/internal/lai"
+	"jinjing/internal/netgen"
+	"jinjing/internal/topo"
+)
+
+// This file is the library's public API: a curated facade over the
+// internal packages. Everything needed to model a network, express an
+// intent in LAI, and run check / fix / generate is re-exported here, so
+// applications only import "jinjing".
+
+// Network modeling.
+type (
+	// Network is the modeled network: devices, interfaces, links, FIBs.
+	Network = topo.Network
+	// Device is one router.
+	Device = topo.Device
+	// Interface is one interface of a device with optional per-direction ACLs.
+	Interface = topo.Interface
+	// Direction selects the ingress or egress ACL attachment of an interface.
+	Direction = topo.Direction
+	// Scope is a management scope Ω.
+	Scope = topo.Scope
+	// Path is a border-to-border route through a scope.
+	Path = topo.Path
+	// ACLBinding is an (interface, direction) ACL attachment point.
+	ACLBinding = topo.ACLBinding
+)
+
+// Directions.
+const (
+	In  = topo.In
+	Out = topo.Out
+)
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return topo.NewNetwork() }
+
+// NewScope builds a management scope over the named devices.
+func NewScope(devices ...string) *Scope { return topo.NewScope(devices...) }
+
+// ACLs and packet headers.
+type (
+	// ACL is a first-match rule list with a default action.
+	ACL = acl.ACL
+	// Rule is one ACL entry.
+	Rule = acl.Rule
+	// Action is permit or deny.
+	Action = acl.Action
+	// Packet is a concrete 5-tuple packet header.
+	Packet = header.Packet
+	// Prefix is an IPv4 prefix.
+	Prefix = header.Prefix
+	// Match is a 5-tuple predicate.
+	Match = header.Match
+	// PortRange is an inclusive port range.
+	PortRange = header.PortRange
+	// ProtoMatch is an inclusive protocol-number range.
+	ProtoMatch = header.ProtoMatch
+)
+
+// Wildcard field values for building matches.
+var (
+	// MatchAll matches every packet.
+	MatchAll = header.MatchAll
+	// AnyPort matches every port.
+	AnyPort = header.AnyPort
+	// AnyProto matches every protocol number.
+	AnyProto = header.AnyProto
+)
+
+// DstMatch returns a Match constraining only the destination prefix.
+func DstMatch(p Prefix) Match { return header.DstMatch(p) }
+
+// Actions.
+const (
+	Permit = acl.Permit
+	Deny   = acl.Deny
+)
+
+// ParseACL parses the textual ACL syntax, e.g.
+// "deny dst 1.0.0.0/8, permit all".
+func ParseACL(text string) (*ACL, error) { return acl.Parse(text) }
+
+// MustParseACL is ParseACL that panics on error.
+func MustParseACL(text string) *ACL { return acl.MustParse(text) }
+
+// PermitAll returns an ACL permitting every packet.
+func PermitAll() *ACL { return acl.PermitAll() }
+
+// EquivalentACLs reports whether two ACLs have the same decision model,
+// decided by the SMT backend.
+func EquivalentACLs(a, b *ACL) bool { return acl.Equivalent(a, b) }
+
+// SimplifyACL removes redundant rules while preserving the decision model.
+func SimplifyACL(a *ACL) *ACL { return acl.Simplify(a) }
+
+// ParsePrefix parses "a.b.c.d/len" (or "all").
+func ParsePrefix(s string) (Prefix, error) { return header.ParsePrefix(s) }
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix { return header.MustParsePrefix(s) }
+
+// The LAI intent language.
+type (
+	// Program is a parsed LAI program (region, requirement, command).
+	Program = lai.Program
+	// Resolved is a program bound to a concrete network.
+	Resolved = lai.Resolved
+	// ResolveOptions supplies the out-of-band inputs of a program.
+	ResolveOptions = lai.ResolveOptions
+)
+
+// ParseProgram parses LAI source (see the Figure 2 grammar).
+func ParseProgram(src string) (*Program, error) { return lai.Parse(src) }
+
+// ResolveProgram binds a program to a network.
+func ResolveProgram(p *Program, net *Network, opts ResolveOptions) (*Resolved, error) {
+	return lai.Resolve(p, net, opts)
+}
+
+// The engine.
+type (
+	// Engine runs the check / fix / generate primitives.
+	Engine = core.Engine
+	// Options toggles the engine's optimizations.
+	Options = core.Options
+	// CheckResult reports a check outcome.
+	CheckResult = core.CheckResult
+	// FixResult reports a fixing plan.
+	FixResult = core.FixResult
+	// GenerateResult reports a synthesis outcome.
+	GenerateResult = core.GenerateResult
+	// Report is the outcome of running a whole LAI program.
+	Report = core.Report
+	// Control is a resolved §6 reachability intent.
+	Control = core.Control
+)
+
+// Control modes.
+const (
+	Isolate  = core.Isolate
+	Open     = core.Open
+	Maintain = core.Maintain
+)
+
+// DefaultOptions returns the paper's full optimization configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewEngine builds an engine checking before against after within scope.
+func NewEngine(before, after *Network, scope *Scope, opts Options) *Engine {
+	return core.New(before, after, scope, opts)
+}
+
+// Run executes a resolved LAI program's commands in order.
+func Run(r *Resolved, opts Options) (*Report, error) { return core.Run(r, opts) }
+
+// Synthetic networks (the evaluation substrate).
+type (
+	// WAN is a generated layered wide-area network.
+	WAN = netgen.WAN
+	// WANConfig parameterizes the generator.
+	WANConfig = netgen.Config
+	// WANSize selects one of the three evaluation scales.
+	WANSize = netgen.Size
+)
+
+// WAN scales.
+const (
+	SmallWAN  = netgen.Small
+	MediumWAN = netgen.Medium
+	LargeWAN  = netgen.Large
+)
+
+// DefaultWANConfig returns the calibrated generator parameters.
+func DefaultWANConfig(size WANSize, seed int64) WANConfig {
+	return netgen.DefaultConfig(size, seed)
+}
+
+// BuildWAN generates a synthetic WAN.
+func BuildWAN(cfg WANConfig) *WAN { return netgen.Build(cfg) }

@@ -1,0 +1,155 @@
+// Benchmark harness: one benchmark family per table or figure of the
+// paper's evaluation (§8). Each family drives the same workload code as
+// the experiment tables (internal/experiments), so `go test -bench=.`
+// regenerates every measured series. Expensive cells (the large network,
+// unoptimized modes) run a single iteration under the default -benchtime.
+package jinjing_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jinjing/internal/experiments"
+	"jinjing/internal/netgen"
+)
+
+var allSizes = []netgen.Size{netgen.Small, netgen.Medium, netgen.Large}
+
+// BenchmarkFig4aCheck measures check turnaround per network size,
+// perturbation ratio, and mode (differential rules vs basic encoding) —
+// Figure 4a.
+func BenchmarkFig4aCheck(b *testing.B) {
+	for _, size := range allSizes {
+		for _, pct := range []float64{1, 3, 5} {
+			for _, diff := range []bool{true, false} {
+				mode := "basic"
+				if diff {
+					mode = "differential"
+				}
+				name := fmt.Sprintf("size=%s/perturb=%.0f%%/mode=%s", size, pct, mode)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						e := experiments.CheckEngine(size, pct, diff)
+						b.StartTimer()
+						res := e.Check()
+						b.StopTimer()
+						b.ReportMetric(float64(res.SolvedFECs), "solvedFECs")
+						b.ReportMetric(float64(res.Conflicts), "conflicts")
+						b.StartTimer()
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig4bFix measures fix turnaround — Figure 4b. The basic
+// (unoptimized) mode runs on the small and medium networks only; see
+// EXPERIMENTS.md.
+func BenchmarkFig4bFix(b *testing.B) {
+	for _, size := range allSizes {
+		for _, pct := range []float64{1, 3, 5} {
+			for _, optimized := range []bool{true, false} {
+				if !optimized && size == netgen.Large {
+					continue
+				}
+				mode := "basic"
+				if optimized {
+					mode = "optimized"
+				}
+				name := fmt.Sprintf("size=%s/perturb=%.0f%%/mode=%s", size, pct, mode)
+				b.Run(name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						e := experiments.FixEngine(size, pct, optimized)
+						b.StartTimer()
+						res, err := e.Fix()
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.StopTimer()
+						if !res.Verified {
+							b.Fatalf("fix failed to verify (%d unfixable)", len(res.Unfixable))
+						}
+						b.ReportMetric(float64(len(res.Neighborhoods)), "neighborhoods")
+						b.StartTimer()
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig4cGenerate measures migration-plan generation — Figure 4c.
+func BenchmarkFig4cGenerate(b *testing.B) {
+	for _, size := range allSizes {
+		for _, optimized := range []bool{true, false} {
+			if !optimized && size == netgen.Large {
+				continue
+			}
+			mode := "unoptimized"
+			if optimized {
+				mode = "optimized"
+			}
+			b.Run(fmt.Sprintf("size=%s/mode=%s", size, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					e, sources := experiments.MigrationSetup(size, optimized)
+					b.StartTimer()
+					res, err := e.Generate(sources)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if len(res.Unsolvable) > 0 || !res.Verified {
+						b.Fatal("generate failed")
+					}
+					b.ReportMetric(float64(res.RulesAfterSimplify), "rules")
+					b.ReportMetric(float64(res.AECs), "AECs")
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4dControlOpen measures control-open generation per number
+// of prefixes opened per edge device — Figure 4d (series 1/2/4 per
+// device; the paper's 1/10/100 scaled to the synthetic WAN's per-edge
+// announcements).
+func BenchmarkFig4dControlOpen(b *testing.B) {
+	for _, size := range allSizes {
+		for _, k := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("size=%s/open=%d", size, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					e, srcs := experiments.OpenSetup(size, k)
+					b.StartTimer()
+					res, err := e.Generate(srcs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					if len(res.Unsolvable) > 0 || !res.Verified {
+						b.Fatal("control-open generate failed")
+					}
+					b.ReportMetric(float64(res.RulesAfterSimplify), "rules")
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable5LAI measures LAI program construction and line counting
+// (Table 5 is about program sizes; the bench guards against the programs
+// accidentally ballooning).
+func BenchmarkTable5LAI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table5Programs(allSizes)
+		if len(rows) == 0 {
+			b.Fatal("no Table 5 rows")
+		}
+	}
+}

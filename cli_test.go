@@ -1,0 +1,212 @@
+package jinjing_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a shared temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// TestCLIPipeline drives the full netgen -> check -> fix flow through the
+// command-line tools, exactly as a user would.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline builds binaries; skipped in -short mode")
+	}
+	netgenBin := buildTool(t, "jinjing-netgen")
+	jinjingBin := buildTool(t, "jinjing")
+	dir := t.TempDir()
+
+	before := filepath.Join(dir, "net.json")
+	after := filepath.Join(dir, "net-after.json")
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-out", before)
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-perturb", "4", "-out", after)
+
+	// An LAI program: check the perturbed plan (expect inconsistency and
+	// exit code 1), then check+fix (expect success).
+	checkProg := filepath.Join(dir, "check.lai")
+	writeProgram(t, checkProg, "check\n")
+	cmd := exec.Command(jinjingBin, "-topo", before, "-updated", after, "-program", checkProg)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("check of a perturbed plan should exit nonzero\n%s", out)
+	}
+	if !strings.Contains(string(out), "INCONSISTENT") {
+		t.Fatalf("expected INCONSISTENT, got:\n%s", out)
+	}
+
+	fixProg := filepath.Join(dir, "fix.lai")
+	writeProgram(t, fixProg, "check\nfix\n")
+	out2, err := exec.Command(jinjingBin, "-topo", before, "-updated", after, "-program", fixProg).CombinedOutput()
+	if err != nil {
+		t.Fatalf("check+fix failed: %v\n%s", err, out2)
+	}
+	if !strings.Contains(string(out2), "verified=true") {
+		t.Fatalf("expected a verified fix, got:\n%s", out2)
+	}
+}
+
+// writeProgram emits a full LAI program for the small WAN: scope over
+// every generated device, modify every ACL-carrying binding from the
+// updated snapshot, then the given commands.
+func writeProgram(t *testing.T, path, commands string) {
+	t.Helper()
+	var b bytes.Buffer
+	b.WriteString("scope ")
+	var scopeParts, allowParts, modifyParts []string
+	for i := 0; i < 2; i++ {
+		scopeParts = append(scopeParts, sprintfDev("core%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		scopeParts = append(scopeParts, sprintfDev("agg%d", i))
+	}
+	for i := 0; i < 8; i++ {
+		scopeParts = append(scopeParts, sprintfDev("edge%d", i))
+		allowParts = append(allowParts, "edge"+itoa(i)+":ext-in")
+		modifyParts = append(modifyParts, "edge"+itoa(i)+":ext-in")
+	}
+	for i := 0; i < 2; i++ {
+		allowParts = append(allowParts, "core"+itoa(i)+":up-in")
+		modifyParts = append(modifyParts, "core"+itoa(i)+":up-in")
+	}
+	for i := 0; i < 4; i++ {
+		allowParts = append(allowParts, "agg"+itoa(i)+":*-in")
+	}
+	b.WriteString(strings.Join(scopeParts, ", "))
+	b.WriteString("\nallow ")
+	b.WriteString(strings.Join(allowParts, ", "))
+	b.WriteString("\nmodify ")
+	b.WriteString(strings.Join(modifyParts, ", "))
+	// Aggregation ACLs sit on varying downlink interfaces; modify them
+	// with a glob.
+	for i := 0; i < 4; i++ {
+		b.WriteString(", agg" + itoa(i) + ":*-in")
+	}
+	b.WriteString("\n")
+	b.WriteString(commands)
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sprintfDev(format string, i int) string {
+	return strings.Replace(format, "%d", itoa(i), 1) + ":*"
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func run(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+}
+
+// TestCLIExperimentsSmoke runs the experiments binary on the tiniest
+// subset to keep the tool honest.
+func TestCLIExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build; skipped in -short mode")
+	}
+	bin := buildTool(t, "jinjing-experiments")
+	out, err := exec.Command(bin, "-figures", "t5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments t5: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Table 5") {
+		t.Fatalf("missing Table 5 header:\n%s", out)
+	}
+}
+
+// TestCLIConfigsIngestion runs the jinjing binary against a directory of
+// IOS-style configs plus a cable plan (the §7 Scenario 2 cell), checking
+// a bad relocation expressed as an inline-ACL LAI program.
+func TestCLIConfigsIngestion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build; skipped in -short mode")
+	}
+	jinjingBin := buildTool(t, "jinjing")
+	dir := t.TempDir()
+
+	files := map[string]string{
+		"g.cfg": `hostname G
+ip access-list extended PROTECT
+  deny ip any 10.2.0.0 0.0.255.255
+  permit ip any any
+interface up
+  ip access-group PROTECT in
+interface d1
+interface d2
+ip route 10.1.0.0 255.255.0.0 d1
+ip route 10.2.0.0 255.255.0.0 d2
+ip route 8.0.0.0 255.0.0.0 up
+`,
+		"r1.cfg": `hostname R1
+interface u
+interface h
+ip route 10.1.0.0 255.255.0.0 h
+ip route 10.2.0.0 255.255.0.0 u
+ip route 8.0.0.0 255.0.0.0 u
+`,
+		"r2.cfg": `hostname R2
+interface u
+interface h
+ip route 10.2.0.0 255.255.0.0 h
+ip route 10.1.0.0 255.255.0.0 u
+ip route 8.0.0.0 255.0.0.0 u
+`,
+		"links.json": `[
+  {"from": "G:d1", "to": "R1:u"}, {"from": "R1:u", "to": "G:d1"},
+  {"from": "G:d2", "to": "R2:u"}, {"from": "R2:u", "to": "G:d2"}
+]`,
+		"relocate.lai": `scope G:*, R1:*, R2:*
+entry G:up, R1:h, R2:h
+allow G:up-in, G:d1-out, G:d2-out
+acl moved { deny dst 10.2.0.0/16, permit all }
+modify G:up to permit-all
+modify G:d1-out to acl moved
+modify G:d2-out to acl moved
+check
+fix
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := exec.Command(jinjingBin,
+		"-configs", dir,
+		"-links", filepath.Join(dir, "links.json"),
+		"-program", filepath.Join(dir, "relocate.lai"),
+		"-emit-ios",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("jinjing -configs failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "INCONSISTENT") {
+		t.Fatalf("relocation side effect not reported:\n%s", out)
+	}
+	if !strings.Contains(string(out), "verified=true") {
+		t.Fatalf("fix not verified:\n%s", out)
+	}
+	if !strings.Contains(string(out), "ip access-list extended JINJING-") {
+		t.Fatalf("-emit-ios produced no IOS output:\n%s", out)
+	}
+}

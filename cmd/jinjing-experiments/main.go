@@ -1,0 +1,71 @@
+// Command jinjing-experiments regenerates the paper's evaluation tables
+// (Figures 4a-4d and Table 5 of §8) on the synthetic WAN substrate and
+// prints them in the format recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	jinjing-experiments                 # all figures, small+medium
+//	jinjing-experiments -large          # include the large network
+//	jinjing-experiments -figures 4a,4d  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jinjing/internal/experiments"
+	"jinjing/internal/netgen"
+)
+
+func main() {
+	var (
+		large   = flag.Bool("large", false, "include the large network (minutes of runtime)")
+		figures = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,t5")
+	)
+	flag.Parse()
+
+	sizes := []netgen.Size{netgen.Small, netgen.Medium}
+	if *large {
+		sizes = append(sizes, netgen.Large)
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figures, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+
+	if want["4a"] {
+		experiments.PrintCheckRows(os.Stdout, experiments.Fig4aCheck(sizes))
+		fmt.Println()
+	}
+	if want["4b"] {
+		experiments.PrintFixRows(os.Stdout, experiments.Fig4bFix(sizes, []bool{true, false}))
+		rows := []experiments.FixRow{experiments.Fig4bNoExpansion(netgen.Small, 2000)}
+		experiments.PrintFixRows(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["4c"] {
+		// The unoptimized arm is bounded to small/medium: without §5.5
+		// grouping and simplification the large network's synthesized
+		// rule lists grow into the millions (see EXPERIMENTS.md).
+		smallSizes := sizes
+		if len(smallSizes) > 2 {
+			smallSizes = smallSizes[:2]
+		}
+		rows := experiments.Fig4cGenerate(smallSizes, []bool{true, false})
+		if len(sizes) > 2 {
+			rows = append(rows, experiments.Fig4cGenerate(sizes[2:], []bool{true})...)
+		}
+		experiments.PrintGenerateRows(os.Stdout, "Figure 4c — generate migration plan", rows)
+		fmt.Println()
+	}
+	if want["4d"] {
+		rows := experiments.Fig4dOpen(sizes, []int{1, 2, 4})
+		experiments.PrintGenerateRows(os.Stdout, "Figure 4d — reachability control (open) + generate", rows)
+		fmt.Println()
+	}
+	if want["t5"] {
+		experiments.PrintTable5(os.Stdout, experiments.Table5Programs(sizes))
+	}
+}

@@ -1,0 +1,64 @@
+// Command jinjing-netgen emits a synthetic layered WAN (the evaluation
+// substrate of internal/netgen) as topology JSON, optionally alongside a
+// perturbed post-update snapshot, for use with cmd/jinjing.
+//
+// Usage:
+//
+//	jinjing-netgen -size medium -seed 7 -out net.json
+//	jinjing-netgen -size medium -seed 7 -perturb 3 -out net-after.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"jinjing/internal/netgen"
+)
+
+func main() {
+	var (
+		sizeName = flag.String("size", "small", "network scale: small, medium, or large")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		perturb  = flag.Float64("perturb", 0, "percentage of ACL rules to perturb (emits the post-update snapshot)")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var size netgen.Size
+	switch *sizeName {
+	case "small":
+		size = netgen.Small
+	case "medium":
+		size = netgen.Medium
+	case "large":
+		size = netgen.Large
+	default:
+		fmt.Fprintf(os.Stderr, "jinjing-netgen: unknown size %q\n", *sizeName)
+		os.Exit(2)
+	}
+
+	w := netgen.Build(netgen.DefaultConfig(size, *seed))
+	net := w.Net
+	if *perturb > 0 {
+		net = w.Perturb(*seed+1, *perturb)
+	}
+	data, err := json.Marshal(net)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jinjing-netgen:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "jinjing-netgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d devices, %d announced prefixes\n",
+		*out, len(net.Devices), len(w.AllPrefixes()))
+}

@@ -1,0 +1,57 @@
+// Command jinjing-sat runs the embedded CDCL SAT solver on a DIMACS CNF
+// file — handy for debugging the solver substrate against standard
+// instances (and for convincing yourself the engine's oracle is a real
+// SAT solver).
+//
+// Usage:
+//
+//	jinjing-sat problem.cnf      # prints SATISFIABLE + model, or UNSATISFIABLE
+//	jinjing-sat -                # reads stdin
+//
+// Exit codes follow SAT-competition conventions: 10 = SAT, 20 = UNSAT.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"jinjing/internal/sat"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jinjing-sat <file.cnf|->")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if os.Args[1] == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jinjing-sat:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	s, numVars, err := sat.LoadDIMACS(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jinjing-sat:", err)
+		os.Exit(2)
+	}
+	if s.Solve() {
+		fmt.Println("s SATISFIABLE")
+		if err := s.WriteDIMACSModel(os.Stdout, numVars); err != nil {
+			fmt.Fprintln(os.Stderr, "jinjing-sat:", err)
+			os.Exit(2)
+		}
+		stats := s.Stats
+		fmt.Printf("c decisions=%d propagations=%d conflicts=%d restarts=%d\n",
+			stats.Decisions, stats.Propagations, stats.Conflicts, stats.Restarts)
+		os.Exit(10)
+	}
+	fmt.Println("s UNSATISFIABLE")
+	os.Exit(20)
+}

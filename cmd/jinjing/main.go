@@ -1,0 +1,241 @@
+// Command jinjing runs an LAI program against a network.
+//
+// Usage:
+//
+//	jinjing -topo net.json -program update.lai [-updated net-after.json]
+//	jinjing -configs confdir -links links.json -program update.lai
+//
+// The network comes either from a topology file in the JSON schema of
+// internal/topo (see cmd/jinjing-netgen to generate one), or from a
+// directory of Cisco-IOS-style device configurations (*.cfg, see
+// internal/ciscoconf) plus a JSON cable plan:
+//
+//	[{"from": "G:d1", "to": "R1:u"}, {"from": "R1:u", "to": "G:d1"}]
+//
+// The LAI program expresses the update intent; when it contains
+// "modify X to X'" statements taking ACLs from a hand-written update,
+// the -updated snapshot supplies them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/ciscoconf"
+	"jinjing/internal/core"
+	"jinjing/internal/lai"
+	"jinjing/internal/topo"
+)
+
+func main() {
+	var (
+		topoPath    = flag.String("topo", "", "network topology JSON")
+		configsDir  = flag.String("configs", "", "directory of Cisco-IOS-style device configs (*.cfg)")
+		linksPath   = flag.String("links", "", "cable plan JSON for -configs")
+		programPath = flag.String("program", "", "LAI program file (required)")
+		updatedPath = flag.String("updated", "", "post-update network JSON for 'modify X to X'' statements")
+		noDiff      = flag.Bool("no-differential", false, "disable the Theorem 4.1 differential-rules optimization")
+		noOpt       = flag.Bool("no-optimizations", false, "disable all optimizations (basic Algorithm 1)")
+		findAll     = flag.Bool("all-violations", false, "report one violation per forwarding equivalence class")
+		emitIOS     = flag.Bool("emit-ios", false, "print fixed/generated ACLs as Cisco-IOS access lists")
+		workers     = flag.Int("workers", 1, "parallel workers for the check primitive")
+		explain     = flag.Bool("explain", false, "print hop-by-hop decision traces for each violation")
+	)
+	flag.Parse()
+	if (*topoPath == "" && *configsDir == "") || *programPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var net *topo.Network
+	var err error
+	if *configsDir != "" {
+		net, err = loadConfigs(*configsDir, *linksPath)
+	} else {
+		net, err = loadNetwork(*topoPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lai.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts lai.ResolveOptions
+	if *updatedPath != "" {
+		updated, err := loadNetwork(*updatedPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Updated = updated
+	}
+	resolved, err := lai.Resolve(prog, net, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	engineOpts := core.DefaultOptions()
+	engineOpts.FindAllViolations = *findAll
+	engineOpts.Workers = *workers
+	if *noDiff || *noOpt {
+		engineOpts.UseDifferential = false
+	}
+	if *noOpt {
+		engineOpts = core.Options{FindAllViolations: *findAll, Workers: *workers}
+	}
+
+	report, err := core.Run(resolved, engineOpts)
+	if err != nil {
+		fatal(err)
+	}
+	report.Print(os.Stdout)
+	if *explain {
+		eng := core.FromResolved(resolved, engineOpts)
+		for _, c := range report.Checks {
+			for _, v := range c.Violations {
+				for _, x := range eng.Explain(v) {
+					fmt.Print(x)
+				}
+			}
+		}
+	}
+	if *emitIOS {
+		emitIOSPlans(report)
+	}
+
+	// Exit nonzero when a check failed and nothing repaired it, so the
+	// command composes into automation.
+	if len(report.Fixes) == 0 && len(report.Generates) == 0 {
+		for _, c := range report.Checks {
+			if !c.Consistent {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// loadConfigs assembles a network from a directory of IOS-style device
+// configurations and a JSON cable plan.
+func loadConfigs(dir, linksPath string) (*topo.Network, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.cfg"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no *.cfg files in %s", dir)
+	}
+	sort.Strings(paths)
+	var cfgs []*ciscoconf.DeviceConfig
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := ciscoconf.Parse(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p, err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	var links []ciscoconf.Link
+	if linksPath != "" {
+		data, err := os.ReadFile(linksPath)
+		if err != nil {
+			return nil, err
+		}
+		var raw []struct {
+			From string `json:"from"`
+			To   string `json:"to"`
+		}
+		if err := json.Unmarshal(data, &raw); err != nil {
+			return nil, fmt.Errorf("%s: %v", linksPath, err)
+		}
+		for _, l := range raw {
+			fd, fi, ok1 := cut(l.From)
+			td, ti, ok2 := cut(l.To)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("%s: link endpoints must be device:interface", linksPath)
+			}
+			links = append(links, ciscoconf.Link{
+				FromDevice: fd, FromIface: fi, ToDevice: td, ToIface: ti,
+			})
+		}
+	}
+	return ciscoconf.BuildNetwork(cfgs, links)
+}
+
+func cut(s string) (string, string, bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return s[:i], s[i+1:], i > 0 && i < len(s)-1
+		}
+	}
+	return "", "", false
+}
+
+// emitIOSPlans prints every ACL the plan changed, in IOS syntax, ready
+// to paste into device configuration.
+func emitIOSPlans(report *core.Report) {
+	emitted := map[string]bool{}
+	emit := func(bindingID string, a *acl.ACL) {
+		if a == nil || emitted[bindingID] {
+			return
+		}
+		emitted[bindingID] = true
+		name := strings.ToUpper(strings.NewReplacer(":", "-").Replace(bindingID))
+		fmt.Printf("\n! %s\n%s", bindingID, ciscoconf.FormatACL("JINJING-"+name, a))
+	}
+	for _, f := range report.Fixes {
+		for _, action := range f.Actions {
+			dir := topo.In
+			base := action.BindingID
+			if strings.HasSuffix(base, ":out") {
+				dir = topo.Out
+				base = strings.TrimSuffix(base, ":out")
+			} else {
+				base = strings.TrimSuffix(base, ":in")
+			}
+			if iface, err := f.Fixed.LookupInterface(base); err == nil {
+				emit(action.BindingID, iface.ACL(dir))
+			}
+		}
+	}
+	for _, g := range report.Generates {
+		ids := make([]string, 0, len(g.ACLs))
+		for id := range g.ACLs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			emit(id, g.ACLs[id])
+		}
+	}
+}
+
+func loadNetwork(path string) (*topo.Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := topo.NewNetwork()
+	if err := json.Unmarshal(data, n); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return n, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jinjing:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,140 @@
+// Isolation: the paper's §7 Scenario 1 — isolating a service area.
+//
+// A new service S is deployed with prefix 1.2.0.0/16 behind gateway R3,
+// which fronts an important private subnet. The operators must isolate
+// traffic between S and R3's subnet in both directions, but cannot just
+// add a deny on R3 (side effects on un-recycled IP segments). They write
+// the LAI intent with two control statements and let Jinjing generate
+// ACL rules on the allowed ingress interfaces — then the plan is
+// verified to have no side effect on any other traffic.
+//
+// Run with: go run ./examples/isolation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"jinjing"
+)
+
+// program is the Scenario 1 LAI intent (§7), adapted to the concrete
+// interface names below: isolate the service prefix in both directions
+// between the backbone side (R1/R2) and the subnet gateway R3.
+const program = `
+scope R1:*, R2:*, R3:*
+entry R1:up, R2:up, R3:sub
+allow R1:*-in, R2:*-in, R3:*-in
+
+control R1:up, R2:up -> R3:sub isolate from 1.2.0.0/16
+control R3:sub -> R1:up, R2:up isolate to 1.2.0.0/16
+
+generate
+`
+
+// buildScenario1 models the §7 Scenario 1 site: two backbone routers R1
+// and R2, both connected to the gateway R3. Traffic between the service
+// prefix 1.2.0.0/16 (reachable through both R1 and R2) and R3's private
+// subnet 10.50.0.0/16 may flow through either router.
+func buildScenario1() *jinjing.Network {
+	n := jinjing.NewNetwork()
+	r1, r2, r3 := n.Device("R1"), n.Device("R2"), n.Device("R3")
+
+	// R1/R2: "up" faces the backbone (where S lives), "d" faces R3.
+	r1up, r1d := r1.Interface("up"), r1.Interface("d")
+	r2up, r2d := r2.Interface("up"), r2.Interface("d")
+	// R3: "u1"/"u2" face R1/R2, "sub" faces the private subnet.
+	r3u1, r3u2, r3sub := r3.Interface("u1"), r3.Interface("u2"), r3.Interface("sub")
+
+	n.AddLink(r1d, r3u1)
+	n.AddLink(r3u1, r1d)
+	n.AddLink(r2d, r3u2)
+	n.AddLink(r3u2, r2d)
+
+	service := jinjing.MustParsePrefix("1.2.0.0/16")
+	subnet := jinjing.MustParsePrefix("10.50.0.0/16")
+
+	// Downstream: towards the private subnet through R3.
+	r1.AddRoute(subnet, r1d)
+	r2.AddRoute(subnet, r2d)
+	r3.AddRoute(subnet, r3sub)
+	// Upstream: towards the service and the rest of the world.
+	r3.AddRoute(service, r3u1)
+	r3.AddRoute(service, r3u2)
+	r1.AddRoute(service, r1up)
+	r2.AddRoute(service, r2up)
+	other := jinjing.MustParsePrefix("2.0.0.0/8") // unrelated traffic, must keep flowing
+	r3.AddRoute(other, r3u1)
+	r1.AddRoute(other, r1up)
+	r2.AddRoute(other, r2up)
+	r1.AddRoute(jinjing.MustParsePrefix("10.50.0.0/16"), r1d)
+
+	return n
+}
+
+func main() {
+	net := buildScenario1()
+
+	prog, err := jinjing.ParseProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resolved, err := jinjing.ResolveProgram(prog, net, jinjing.ResolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("LAI intent:")
+	fmt.Print(prog.Format())
+	fmt.Println()
+
+	report, err := jinjing.Run(resolved, jinjing.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Print(os.Stdout)
+
+	// Demonstrate the outcome on concrete packets.
+	gen := report.Final
+	show := func(label string, pkt jinjing.Packet, entry string) {
+		permitted := false
+		scope := jinjing.NewScope("R1", "R2", "R3")
+		for _, p := range gen.AllPaths(scope) {
+			if p.Src().ID() != entry || !p.Permits(pkt) {
+				continue
+			}
+			permitted = true
+		}
+		verdict := "BLOCKED"
+		if permitted {
+			verdict = "permitted"
+		}
+		fmt.Printf("  %-42s %s\n", label, verdict)
+	}
+	fmt.Println("\nConcrete packets after the update:")
+	show("service -> subnet (must be blocked)",
+		jinjing.Packet{SrcIP: 0x01020001, DstIP: 0x0a320001}, "R1:up")
+	show("subnet -> service (must be blocked)",
+		jinjing.Packet{SrcIP: 0x0a320001, DstIP: 0x01020001}, "R3:sub")
+	show("other traffic -> subnet (must still work)",
+		jinjing.Packet{SrcIP: 0x02000001, DstIP: 0x0a320001}, "R1:up")
+	show("subnet -> other traffic (must still work)",
+		jinjing.Packet{SrcIP: 0x0a320001, DstIP: 0x02000001}, "R3:sub")
+
+	// Print the generated ACLs.
+	fmt.Println("\nGenerated ACLs:")
+	g := report.Generates[0]
+	ids := make([]string, 0, len(g.ACLs))
+	for id := range g.ACLs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if g.ACLs[id].Len() == 0 {
+			continue
+		}
+		fmt.Printf("  %s: %v\n", id, g.ACLs[id])
+	}
+}

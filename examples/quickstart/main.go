@@ -1,0 +1,115 @@
+// Quickstart: the paper's running example (§3.2, Figures 1 and 3).
+//
+// We build the four-router network of Figure 1, express the operator's
+// ACL clean-up as an LAI program — move "deny 1.0.0.0/8, deny 2.0.0.0/8"
+// from D2 onto A1 and "deny 7.0.0.0/8" from C1 onto A3 — then check the
+// plan (Jinjing reports the reachability violation) and fix it (Jinjing
+// synthesizes the missing permit/deny rules and verifies the result).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"jinjing"
+)
+
+// buildFigure1 constructs the Figure 1 network through the public API:
+// routers A–D, ACLs on A1/C1/D2 (ingress), and destination-based
+// forwarding for the seven traffic classes 1.0.0.0/8 … 7.0.0.0/8.
+func buildFigure1() *jinjing.Network {
+	n := jinjing.NewNetwork()
+	a, b, c, d := n.Device("A"), n.Device("B"), n.Device("C"), n.Device("D")
+
+	a1, a2, a3, a4 := a.Interface("1"), a.Interface("2"), a.Interface("3"), a.Interface("4")
+	b1, b2 := b.Interface("1"), b.Interface("2")
+	c1, c2, c3, c4 := c.Interface("1"), c.Interface("2"), c.Interface("3"), c.Interface("4")
+	d1, d2, d3 := d.Interface("1"), d.Interface("2"), d.Interface("3")
+
+	n.AddLink(a2, b1)
+	n.AddLink(b2, c2)
+	n.AddLink(a3, c1)
+	n.AddLink(a4, d1)
+	n.AddLink(c4, d2)
+
+	a1.SetACL(jinjing.In, jinjing.MustParseACL("deny dst 6.0.0.0/8, permit all"))
+	c1.SetACL(jinjing.In, jinjing.MustParseACL("deny dst 7.0.0.0/8, permit all"))
+	d2.SetACL(jinjing.In, jinjing.MustParseACL("deny dst 1.0.0.0/8, deny dst 2.0.0.0/8, permit all"))
+
+	t := func(i int) jinjing.Prefix {
+		return jinjing.MustParsePrefix(fmt.Sprintf("%d.0.0.0/8", i))
+	}
+	a.AddRoute(t(1), a4)
+	a.AddRoute(t(2), a4)
+	a.AddRoute(t(2), a2)
+	a.AddRoute(t(3), a4)
+	a.AddRoute(t(3), a2)
+	a.AddRoute(t(4), a4)
+	a.AddRoute(t(4), a3)
+	a.AddRoute(t(5), a2)
+	a.AddRoute(t(6), a2)
+	a.AddRoute(t(7), a3)
+	for i := 1; i <= 7; i++ {
+		b.AddRoute(t(i), b2)
+		d.AddRoute(t(i), d3)
+		if i == 7 {
+			c.AddRoute(t(i), c3)
+		} else {
+			c.AddRoute(t(i), c4)
+		}
+	}
+	return n
+}
+
+// program is the Figure 3 LAI program: scope, allowed devices, the
+// update to examine, and the commands. The updated ACLs are given inline.
+const program = `
+# Running example (Figure 3): clean up C and D, compensate on A.
+scope A:*, B:*, C:*, D:*
+entry A:1
+allow A:*, B:*
+
+acl A1new { deny dst 1.0.0.0/8, deny dst 2.0.0.0/8, deny dst 6.0.0.0/8, permit all }
+acl A3new { deny dst 7.0.0.0/8, permit all }
+
+modify D:2, C:1 to permit-all
+modify A:1 to acl A1new
+modify A:3-out to acl A3new
+
+check
+fix
+`
+
+func main() {
+	net := buildFigure1()
+
+	prog, err := jinjing.ParseProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resolved, err := jinjing.ResolveProgram(prog, net, jinjing.ResolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("LAI program:")
+	fmt.Print(prog.Format())
+	fmt.Println()
+
+	report, err := jinjing.Run(resolved, jinjing.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Print(os.Stdout)
+
+	// Show what the fix did to A1: the paper's §4.2 walk-through ends
+	// with the fixed A1 simplifying back to the original ACL.
+	a1, err := report.Final.LookupInterface("A:1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nA:1 ingress ACL after fix+simplify: %v\n", a1.ACL(jinjing.In))
+}

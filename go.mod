@@ -1,0 +1,3 @@
+module jinjing
+
+go 1.22

@@ -1,0 +1,111 @@
+package acl
+
+import (
+	"jinjing/internal/header"
+)
+
+// ruleEq reports whether two rules are identical (action and match).
+func ruleEq(a, b Rule) bool {
+	return a.Action == b.Action && a.Match.Equal(b.Match)
+}
+
+// lcsKeep computes, via the classic dynamic program, which positions of l
+// and m participate in one Longest Common Subsequence of the two rule
+// lists (the L ∩→ L' of Definition 4.1).
+func lcsKeep(l, m []Rule) (keepL, keepM []bool) {
+	n, k := len(l), len(m)
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, k+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := k - 1; j >= 0; j-- {
+			if ruleEq(l[i], m[j]) {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	keepL = make([]bool, n)
+	keepM = make([]bool, k)
+	for i, j := 0, 0; i < n && j < k; {
+		switch {
+		case ruleEq(l[i], m[j]):
+			keepL[i], keepM[j] = true, true
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return keepL, keepM
+}
+
+// Differential computes the differential ACL rules between L and L'
+// (Definition 4.1): the rules of either list that are not part of their
+// longest common subsequence — i.e. exactly the rules the update adds or
+// removes. Changed defaults contribute a catch-all rule for each side.
+func Differential(l, lp *ACL) []Rule {
+	keepL, keepM := lcsKeep(l.Rules, lp.Rules)
+	var out []Rule
+	for i, k := range keepL {
+		if !k {
+			out = append(out, l.Rules[i])
+		}
+	}
+	for j, k := range keepM {
+		if !k {
+			out = append(out, lp.Rules[j])
+		}
+	}
+	if l.Default != lp.Default {
+		out = append(out, Rule{Action: l.Default, Match: header.MatchAll})
+	}
+	return out
+}
+
+// Related filters L down to the rules overlapping at least one rule in
+// diff (Definition 4.2): R(L, S) = {k ∈ L : ∃k' ∈ S, m_k ∧ m_k'
+// satisfiable}. The satisfiability test is decided syntactically by
+// header.Match.Overlaps. The default action is preserved, so the result
+// is a valid ACL whose decisions agree with L on every packet covered by
+// diff (Theorem 4.1).
+func Related(l *ACL, diff []Rule) *ACL {
+	out := &ACL{Default: l.Default}
+	for _, r := range l.Rules {
+		for _, d := range diff {
+			if r.Match.Overlaps(d.Match) {
+				out.Rules = append(out.Rules, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// GroupDifferential unions Differential over parallel lists of ACLs
+// (the Diff_Ω of §4.1): before[i] and after[i] are the pre/post-update
+// ACLs of the same interface.
+func GroupDifferential(before, after []*ACL) []Rule {
+	var out []Rule
+	for i := range before {
+		out = append(out, Differential(before[i], after[i])...)
+	}
+	return out
+}
+
+// MatchedByAny reports whether packet p is matched by any rule in rules
+// (the h ∈ H membership test from the proof of Theorem 4.1).
+func MatchedByAny(rules []Rule, p header.Packet) bool {
+	for _, r := range rules {
+		if r.Match.Matches(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package acl
+
+import (
+	"testing"
+)
+
+// FuzzParse exercises the textual ACL parser; accepted inputs must
+// round-trip through String with identical semantics on sample packets.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"deny dst 1.0.0.0/8, permit all",
+		"permit src 10.0.0.0/8 dst 1.2.0.0/16 sport 1-100 dport 443 proto tcp; deny all",
+		"# comment\npermit all",
+		"deny dst",
+		"permit proto 300",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Parse(src)
+		if err != nil {
+			return
+		}
+		b, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v\ninput: %q\nprinted: %q", err, src, a.String())
+		}
+		if !a.Equal(b) {
+			t.Fatalf("round trip changed the ACL:\n%v\nvs\n%v", a, b)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package acl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jinjing/internal/header"
+)
+
+// TestQuickDifferentialSymmetric: the differential rule set treats the
+// two ACLs symmetrically with respect to equivalence (Theorem 4.1 holds
+// in both directions), and self-diffs are empty.
+func TestQuickDifferentialProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomACL(r, 1+r.Intn(8))
+		if len(Differential(l, l.Clone())) != 0 {
+			return false
+		}
+		lp := perturb(r, l)
+		d1 := Differential(l, lp)
+		d2 := Differential(lp, l)
+		// Same multiset of rules (LCS is symmetric up to tie-breaking on
+		// equal-length subsequences, which preserves the set of dropped
+		// rules' multiset size).
+		if len(d1) != len(d2) {
+			return false
+		}
+		// Every differential rule comes from one of the two lists.
+		pool := map[string]int{}
+		for _, rr := range l.Rules {
+			pool[rr.String()]++
+		}
+		for _, rr := range lp.Rules {
+			pool[rr.String()]++
+		}
+		for _, rr := range d1 {
+			if rr.Match.IsAll() && rr.Action == l.Default {
+				continue // synthetic default-change marker
+			}
+			if pool[rr.String()] == 0 {
+				return false
+			}
+			pool[rr.String()]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRelatedSubset: related rules are a subsequence of the input
+// preserving order, and unrelated packets decide identically before and
+// after filtering.
+func TestQuickRelatedSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomACL(r, 1+r.Intn(10))
+		lp := perturb(r, l)
+		diff := Differential(l, lp)
+		rel := Related(l, diff)
+		if rel.Default != l.Default {
+			return false
+		}
+		// Subsequence check.
+		i := 0
+		for _, rr := range rel.Rules {
+			found := false
+			for ; i < len(l.Rules); i++ {
+				if ruleEq(l.Rules[i], rr) {
+					found = true
+					i++
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Packets matched by a related rule decide the same in l and rel
+		// when the matched rule is first in both — spot-check samples.
+		for j := 0; j < 20; j++ {
+			p := randomPacket(r)
+			if MatchedByAny(diff, p) && l.Decide(p) != rel.Decide(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHitIndicesSound: every index returned by HitIndices is a rule
+// the class genuinely overlaps (or the default), and a sample packet of
+// the class hits one of the returned indices.
+func TestQuickHitIndicesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomACL(r, 1+r.Intn(8))
+		class := header.DstMatch(header.Prefix{Addr: uint32(1+r.Intn(6)) << 24, Len: 8})
+		hits := a.HitIndices(class)
+		if len(hits) == 0 {
+			return false
+		}
+		for _, h := range hits {
+			if h < len(a.Rules) && !a.Rules[h].Match.Overlaps(class) {
+				return false
+			}
+		}
+		// A sample packet's first-match must be one of the hit indices.
+		p := class.SamplePacket()
+		first := len(a.Rules)
+		for i, rr := range a.Rules {
+			if rr.Match.Matches(p) {
+				first = i
+				break
+			}
+		}
+		for _, h := range hits {
+			if h == first {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimplifyFastIdempotent: SimplifyFast is idempotent and never
+// grows the rule list.
+func TestQuickSimplifyFastIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomACL(r, r.Intn(12))
+		s1 := SimplifyFast(a)
+		s2 := SimplifyFast(s1)
+		if len(s1.Rules) > len(a.Rules) {
+			return false
+		}
+		return s1.String() == s2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

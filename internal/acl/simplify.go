@@ -1,0 +1,221 @@
+package acl
+
+import (
+	"jinjing/internal/header"
+	"jinjing/internal/smt"
+)
+
+// Equivalent reports whether two ACLs have the same decision model, i.e.
+// they permit exactly the same packets. It is decided by checking that
+// f_a(h) ⊕ f_b(h) is unsatisfiable.
+func Equivalent(a, b *ACL) bool {
+	bld := smt.NewBuilder()
+	pv := bld.NewPacketVars()
+	fa := a.Encode(bld, pv)
+	fb := b.Encode(bld, pv)
+	s := smt.SolverOn(bld)
+	return !s.Solve(bld.Xor(fa, fb))
+}
+
+// EquivalentOn reports whether a and b decide identically on every packet
+// satisfying the restriction formula built by pred (used for Theorem 4.1
+// style scoped equivalence).
+func EquivalentOn(a, b *ACL, restrict func(bld *smt.Builder, pv *smt.PacketVars) smt.F) bool {
+	bld := smt.NewBuilder()
+	pv := bld.NewPacketVars()
+	fa := a.Encode(bld, pv)
+	fb := b.Encode(bld, pv)
+	s := smt.SolverOn(bld)
+	return !s.Solve(bld.And(restrict(bld, pv), bld.Xor(fa, fb)))
+}
+
+// Simplify removes redundant rules from the ACL while preserving its
+// decision model (the "simplifying the final ACL" extension of §4.2).
+// It greedily tries to drop each rule, keeping the removal whenever the
+// decision model is unchanged; the result is maximal in the sense that no
+// single remaining rule can be removed.
+func Simplify(a *ACL) *ACL {
+	cur := a.Clone()
+	// Removing one rule can unlock the removal of an earlier one (a
+	// shadowed deny guards a redundant permit above it), so iterate full
+	// passes until a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Rules); {
+			trial := &ACL{Default: cur.Default}
+			trial.Rules = append(trial.Rules, cur.Rules[:i]...)
+			trial.Rules = append(trial.Rules, cur.Rules[i+1:]...)
+			if Equivalent(cur, trial) {
+				cur = trial // drop rule i; do not advance
+				changed = true
+			} else {
+				i++
+			}
+		}
+	}
+	return cur
+}
+
+// SimplifyFast removes rules that are syntactically shadowed (an earlier
+// rule's match contains them) or absorbed (they agree with the effective
+// default and nothing after them could change the decision), iterating
+// to a fixpoint (dropping a guard rule can make an earlier rule
+// absorbable). It is a cheap pre-pass before the SMT-exact Simplify.
+func SimplifyFast(a *ACL) *ACL {
+	out := simplifyFastPass(a)
+	for len(out.Rules) < len(a.Rules) {
+		a = out
+		out = simplifyFastPass(a)
+	}
+	return out
+}
+
+func simplifyFastPass(a *ACL) *ACL {
+	out := &ACL{Default: a.Default}
+	kept := newDstIndex()
+	// laterOpp indexes, right to left, the not-yet-visited rules whose
+	// action differs from the default (the only rules a default-agreeing
+	// rule could guard).
+	laterOpp := newDstIndex()
+	for _, r := range a.Rules {
+		if r.Action != a.Default {
+			laterOpp.add(r)
+		}
+	}
+	for _, r := range a.Rules {
+		if r.Action != a.Default {
+			laterOpp.remove(r)
+		}
+		// Shadowed: an earlier kept rule contains this one. Only rules
+		// whose destination prefix is an ancestor of (or equal to) this
+		// rule's destination can contain it.
+		if kept.anyContaining(r.Match) {
+			continue
+		}
+		// A rule agreeing with the default is droppable iff no later rule
+		// with a different action overlaps it (otherwise it guards that
+		// later rule).
+		if r.Action == a.Default && !laterOpp.anyOverlapping(r.Match) {
+			continue
+		}
+		out.Rules = append(out.Rules, r)
+		kept.add(r)
+	}
+	return out
+}
+
+// dstIndex buckets rules by their destination prefix so containment and
+// overlap queries touch only candidate buckets: ancestors of the query
+// destination for containment, ancestors plus the descendant subtree for
+// overlap.
+type dstIndex struct {
+	buckets map[header.Prefix][]Rule
+	trie    *dstTrieNode
+}
+
+type dstTrieNode struct {
+	children [2]*dstTrieNode
+	count    int // rules at or below this node
+}
+
+func newDstIndex() *dstIndex {
+	return &dstIndex{buckets: map[header.Prefix][]Rule{}, trie: &dstTrieNode{}}
+}
+
+func (ix *dstIndex) walk(p header.Prefix, delta int) {
+	n := ix.trie
+	n.count += delta
+	for i := 0; i < p.Len; i++ {
+		bit := p.Addr >> (31 - i) & 1
+		if n.children[bit] == nil {
+			if delta < 0 {
+				return
+			}
+			n.children[bit] = &dstTrieNode{}
+		}
+		n = n.children[bit]
+		n.count += delta
+	}
+}
+
+func (ix *dstIndex) add(r Rule) {
+	ix.buckets[r.Match.Dst] = append(ix.buckets[r.Match.Dst], r)
+	ix.walk(r.Match.Dst, 1)
+}
+
+func (ix *dstIndex) remove(r Rule) {
+	b := ix.buckets[r.Match.Dst]
+	for i := range b {
+		if ruleEq(b[i], r) {
+			ix.buckets[r.Match.Dst] = append(b[:i], b[i+1:]...)
+			ix.walk(r.Match.Dst, -1)
+			return
+		}
+	}
+}
+
+// anyContaining reports whether an indexed rule's match contains m.
+func (ix *dstIndex) anyContaining(m header.Match) bool {
+	p := m.Dst
+	for {
+		for _, r := range ix.buckets[p] {
+			if r.Match.Contains(m) {
+				return true
+			}
+		}
+		if p.Len == 0 {
+			return false
+		}
+		p = p.Parent()
+	}
+}
+
+// anyOverlapping reports whether an indexed rule's match overlaps m.
+// Candidates have destinations that are ancestors of m.Dst or lie in its
+// subtree.
+func (ix *dstIndex) anyOverlapping(m header.Match) bool {
+	// Ancestors (including m.Dst itself).
+	p := m.Dst
+	for {
+		for _, r := range ix.buckets[p] {
+			if r.Match.Overlaps(m) {
+				return true
+			}
+		}
+		if p.Len == 0 {
+			break
+		}
+		p = p.Parent()
+	}
+	// Descendants: walk to m.Dst's trie node, then scan its subtree.
+	n := ix.trie
+	for i := 0; i < m.Dst.Len && n != nil; i++ {
+		n = n.children[m.Dst.Addr>>(31-i)&1]
+	}
+	if n == nil || n.count == 0 {
+		return false
+	}
+	return ix.subtreeOverlaps(n, m.Dst, m)
+}
+
+func (ix *dstIndex) subtreeOverlaps(n *dstTrieNode, at header.Prefix, m header.Match) bool {
+	if n.count == 0 {
+		return false
+	}
+	for _, r := range ix.buckets[at] {
+		if r.Match.Overlaps(m) {
+			return true
+		}
+	}
+	if at.Len >= 32 {
+		return false
+	}
+	left, right := at.Halves()
+	if c := n.children[0]; c != nil && ix.subtreeOverlaps(c, left, m) {
+		return true
+	}
+	if c := n.children[1]; c != nil && ix.subtreeOverlaps(c, right, m) {
+		return true
+	}
+	return false
+}

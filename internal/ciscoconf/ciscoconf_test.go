@@ -1,0 +1,222 @@
+package ciscoconf_test
+
+import (
+	"strings"
+	"testing"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/ciscoconf"
+	"jinjing/internal/core"
+	"jinjing/internal/header"
+	"jinjing/internal/topo"
+)
+
+const gwConfig = `
+hostname G
+!
+ip access-list extended PROTECT
+  deny   ip any 10.2.0.0 0.0.255.255
+  permit ip any any
+!
+interface up
+  description to the WAN
+  ip access-group PROTECT in
+interface d1
+interface d2
+!
+ip route 10.1.0.0 255.255.0.0 d1
+ip route 10.2.0.0 255.255.0.0 d2
+ip route 8.0.0.0 255.0.0.0 up
+end
+`
+
+func TestParseDevice(t *testing.T) {
+	cfg, err := ciscoconf.Parse(gwConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Hostname != "G" {
+		t.Fatalf("hostname = %q", cfg.Hostname)
+	}
+	a := cfg.ACLs["PROTECT"]
+	if a == nil || len(a.Rules) != 2 || a.Default != acl.Deny {
+		t.Fatalf("ACL = %v", a)
+	}
+	if a.Rules[0].Action != acl.Deny ||
+		a.Rules[0].Match.Dst != header.MustParsePrefix("10.2.0.0/16") {
+		t.Fatalf("rule 0 = %v", a.Rules[0])
+	}
+	if !a.Rules[1].Match.IsAll() || a.Rules[1].Action != acl.Permit {
+		t.Fatalf("rule 1 = %v", a.Rules[1])
+	}
+	if cfg.Bindings["up"][topo.In] != "PROTECT" {
+		t.Fatalf("binding = %v", cfg.Bindings)
+	}
+	if len(cfg.Routes) != 3 || cfg.Routes[0].Prefix != header.MustParsePrefix("10.1.0.0/16") ||
+		cfg.Routes[0].Iface != "d1" {
+		t.Fatalf("routes = %v", cfg.Routes)
+	}
+}
+
+func TestParseRuleForms(t *testing.T) {
+	src := `hostname X
+ip access-list extended T
+  permit tcp 10.0.0.0 0.255.255.255 host 192.168.1.1 eq 443
+  deny udp any range 1000 2000 any
+  permit ip any 10.3.0.0 0.0.255.255
+  deny tcp any any gt 1023
+  permit tcp any any lt 1024
+  deny 89 any any
+`
+	cfg, err := ciscoconf.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := cfg.ACLs["T"].Rules
+	if len(rules) != 6 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	r0 := rules[0].Match
+	if r0.Src != header.MustParsePrefix("10.0.0.0/8") ||
+		r0.Dst != header.MustParsePrefix("192.168.1.1/32") ||
+		r0.DstPort != (header.PortRange{Lo: 443, Hi: 443}) ||
+		r0.Proto != header.Proto(header.ProtoTCP) {
+		t.Fatalf("rule 0 = %v", rules[0])
+	}
+	if rules[1].Match.SrcPort != (header.PortRange{Lo: 1000, Hi: 2000}) {
+		t.Fatalf("rule 1 sport = %v", rules[1].Match.SrcPort)
+	}
+	if rules[3].Match.DstPort != (header.PortRange{Lo: 1024, Hi: 65535}) {
+		t.Fatalf("rule 3 gt = %v", rules[3].Match.DstPort)
+	}
+	if rules[4].Match.DstPort != (header.PortRange{Lo: 0, Hi: 1023}) {
+		t.Fatalf("rule 4 lt = %v", rules[4].Match.DstPort)
+	}
+	if rules[5].Match.Proto != header.Proto(89) {
+		t.Fatalf("rule 5 proto = %v", rules[5].Match.Proto)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"no hostname":     "interface e0\n",
+		"bad statement":   "hostname X\nfrobnicate\n",
+		"bad mask":        "hostname X\nip access-list extended T\n  permit ip 10.0.0.0 0.255.0.255 any\n",
+		"bad route":       "hostname X\nip route 10.0.0.0 255.0.0.0\n",
+		"orphan indent":   "hostname X\n  permit ip any any\n",
+		"bad action":      "hostname X\nip access-list extended T\n  allow ip any any\n",
+		"bad proto":       "hostname X\nip access-list extended T\n  permit gre any any\n",
+		"trailing tokens": "hostname X\nip access-list extended T\n  permit ip any any extra\n",
+		"bad dir":         "hostname X\ninterface e0\n  ip access-group T sideways\n",
+	}
+	for name, src := range bad {
+		if _, err := ciscoconf.Parse(src); err == nil {
+			t.Errorf("%s: Parse should fail", name)
+		}
+	}
+}
+
+const r1Config = `
+hostname R1
+interface u
+interface h
+ip route 10.1.0.0 255.255.0.0 h
+ip route 10.2.0.0 255.255.0.0 u
+ip route 8.0.0.0 255.0.0.0 u
+`
+
+const r2Config = `
+hostname R2
+interface u
+interface h
+ip route 10.2.0.0 255.255.0.0 h
+ip route 10.1.0.0 255.255.0.0 u
+ip route 8.0.0.0 255.0.0.0 u
+`
+
+func buildCellFromConfigs(t *testing.T) *topo.Network {
+	t.Helper()
+	var cfgs []*ciscoconf.DeviceConfig
+	for _, text := range []string{gwConfig, r1Config, r2Config} {
+		cfg, err := ciscoconf.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	links := []ciscoconf.Link{
+		{FromDevice: "G", FromIface: "d1", ToDevice: "R1", ToIface: "u"},
+		{FromDevice: "R1", FromIface: "u", ToDevice: "G", ToIface: "d1"},
+		{FromDevice: "G", FromIface: "d2", ToDevice: "R2", ToIface: "u"},
+		{FromDevice: "R2", FromIface: "u", ToDevice: "G", ToIface: "d2"},
+	}
+	n, err := ciscoconf.BuildNetwork(cfgs, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildNetworkAndCheckEndToEnd(t *testing.T) {
+	// Full pipeline: IOS configs -> network -> a bad relocation -> check
+	// catches it. (The same cell as §7 Scenario 2, ingested from configs.)
+	before := buildCellFromConfigs(t)
+	scope := topo.NewScope("G", "R1", "R2").WithEntries("G:up", "R1:h", "R2:h")
+
+	after := before.Clone()
+	up, _ := after.LookupInterface("G:up")
+	moved := up.ACL(topo.In).Clone()
+	up.SetACL(topo.In, acl.PermitAll())
+	for _, name := range []string{"G:d1", "G:d2"} {
+		i, _ := after.LookupInterface(name)
+		i.SetACL(topo.Out, moved.Clone())
+	}
+
+	e := core.New(before, after, scope, core.DefaultOptions())
+	if res := e.Check(); res.Consistent {
+		t.Fatal("relocation side effect must be caught on config-ingested network")
+	}
+}
+
+func TestBuildNetworkErrors(t *testing.T) {
+	cfg, _ := ciscoconf.Parse("hostname X\ninterface e0\n  ip access-group NOPE in\n")
+	if _, err := ciscoconf.BuildNetwork([]*ciscoconf.DeviceConfig{cfg}, nil); err == nil {
+		t.Error("unknown ACL reference should fail")
+	}
+	ok, _ := ciscoconf.Parse("hostname X\ninterface e0\n")
+	if _, err := ciscoconf.BuildNetwork([]*ciscoconf.DeviceConfig{ok},
+		[]ciscoconf.Link{{FromDevice: "X", FromIface: "nope", ToDevice: "X", ToIface: "e0"}}); err == nil {
+		t.Error("unknown link interface should fail")
+	}
+}
+
+func TestFormatACLRoundTrip(t *testing.T) {
+	a := &acl.ACL{
+		Default: acl.Permit,
+		Rules: []acl.Rule{
+			{Action: acl.Deny, Match: header.Match{
+				Src: header.MustParsePrefix("10.0.0.0/8"), Dst: header.MustParsePrefix("10.2.0.0/16"),
+				SrcPort: header.AnyPort, DstPort: header.PortRange{Lo: 443, Hi: 443},
+				Proto: header.Proto(header.ProtoTCP)}},
+			{Action: acl.Permit, Match: header.Match{
+				Src: header.AnyPrefix, Dst: header.MustParsePrefix("192.168.1.1/32"),
+				SrcPort: header.PortRange{Lo: 1000, Hi: 2000}, DstPort: header.AnyPort,
+				Proto: header.Proto(header.ProtoUDP)}},
+		},
+	}
+	text := ciscoconf.FormatACL("SYNTH", a)
+	if !strings.Contains(text, "deny tcp 10.0.0.0 0.255.255.255 10.2.0.0 0.0.255.255 eq 443") {
+		t.Fatalf("formatted:\n%s", text)
+	}
+	// Parse it back and compare decision models.
+	cfg, err := ciscoconf.Parse("hostname X\n" + text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	back := cfg.ACLs["SYNTH"]
+	// The explicit trailing catch-all becomes a rule; semantics must be
+	// identical.
+	if !acl.Equivalent(a, back) {
+		t.Fatalf("round trip changed the decision model:\n%v\nvs\n%v", a, back)
+	}
+}

@@ -1,0 +1,24 @@
+package ciscoconf
+
+import (
+	"testing"
+)
+
+// FuzzParse exercises the IOS-dialect parser for panics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"hostname R\nip access-list extended X\n  permit ip any any\n",
+		"hostname R\ninterface e0\n  ip access-group X in\n",
+		"hostname R\nip route 10.0.0.0 255.0.0.0 e0\n",
+		"hostname R\nip access-list extended X\n  deny tcp 10.0.0.0 0.255.255.255 any eq 443\n",
+		"! comment only",
+		"hostname",
+		"  orphan indent",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		Parse(src) // must not panic
+	})
+}

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"jinjing/internal/core"
+	"jinjing/internal/netgen"
+	"jinjing/internal/papernet"
+	"jinjing/internal/topo"
+)
+
+var (
+	mediumOnce sync.Once
+	mediumWAN  *netgen.WAN
+)
+
+func netgenMediumOnce() *netgen.WAN {
+	mediumOnce.Do(func() {
+		mediumWAN = netgen.Build(netgen.DefaultConfig(netgen.Medium, 42))
+	})
+	return mediumWAN
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+func BenchmarkCheckFigure1(b *testing.B) {
+	before := papernet.Build()
+	after := runningExampleUpdate(before)
+	for _, mode := range []string{"differential", "basic", "monolithic"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.UseDifferential = mode == "differential"
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := core.New(before, after, papernet.Scope(), opts)
+				var consistent bool
+				if mode == "monolithic" {
+					consistent = e.CheckMonolithic().Consistent
+				} else {
+					consistent = e.Check().Consistent
+				}
+				if consistent {
+					b.Fatal("must be inconsistent")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFixFigure1(b *testing.B) {
+	before := papernet.Build()
+	after := runningExampleUpdate(before)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := core.New(before, after, papernet.Scope(), core.DefaultOptions())
+		for _, dev := range []string{"A", "B"} {
+			d := before.Devices[dev]
+			for _, ifc := range d.SortedInterfaces() {
+				e.Allow = append(e.Allow,
+					topo.ACLBinding{Iface: ifc, Dir: topo.In},
+					topo.ACLBinding{Iface: ifc, Dir: topo.Out})
+			}
+		}
+		res, err := e.Fix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verified {
+			b.Fatal("fix must verify")
+		}
+	}
+}
+
+func BenchmarkGenerateFigure1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, sources := migrationEngine(core.DefaultOptions())
+		res, err := e.Generate(sources)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verified {
+			b.Fatal("generate must verify")
+		}
+	}
+}
+
+func BenchmarkConservativeCheck(b *testing.B) {
+	before := papernet.Build()
+	after := runningExampleUpdate(before)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := core.New(before, after, papernet.Scope(), core.DefaultOptions())
+		if e.CheckConservative().Consistent {
+			b.Fatal("must be flagged")
+		}
+	}
+}
+
+func BenchmarkCheckParallelWAN(b *testing.B) {
+	// Parallel scaling of the check primitive on the medium WAN with
+	// every FEC forced to the solver (FindAll + no differential skip).
+	// Expected outcome on THIS workload: workers > 1 lose — the queries
+	// are easy, so the per-worker clausification of the shared ACL
+	// encodings outweighs the concurrency (see CheckParallel's doc).
+	w := netgenMediumOnce()
+	after := w.Perturb(1, 3)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(itoa(workers)+"-workers", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				opts := core.DefaultOptions()
+				opts.FindAllViolations = true
+				opts.UseDifferential = false
+				e := core.New(w.Net, after, w.Scope, opts)
+				e.FECs()
+				b.StartTimer()
+				if e.CheckParallel(workers).Consistent {
+					b.Fatal("must be inconsistent")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"time"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/smt"
+	"jinjing/internal/topo"
+)
+
+// Violation is one reachability inconsistency found by Check: a concrete
+// counterexample packet, the FEC it belongs to, and the paths whose
+// decision on it changed.
+type Violation struct {
+	Packet  header.Packet
+	Classes []header.Prefix // the FEC's traffic classes
+	Paths   []topo.Path     // paths that decide differently after the update
+}
+
+// CheckResult reports the outcome of the check primitive.
+type CheckResult struct {
+	Consistent bool
+	Violations []Violation
+
+	// FECs is the number of forwarding equivalence classes examined;
+	// SolvedFECs counts those that actually reached the SMT solver (the
+	// rest were discharged by the Theorem 4.1 fast path).
+	FECs       int
+	SolvedFECs int
+	// Conflicts totals SAT conflict counts across all queries, the
+	// stand-in for the paper's "DPLL recursive calls" (§9).
+	Conflicts int64
+	Timings   Timings
+}
+
+// Check verifies packet (or desired, when controls are present)
+// reachability consistency between the engine's Before and After
+// snapshots, per Algorithm 1. With Options.Workers > 1 the per-FEC
+// queries run concurrently (see CheckParallel).
+func (e *Engine) Check() *CheckResult {
+	if e.Opts.Workers > 1 {
+		return e.CheckParallel(e.Opts.Workers)
+	}
+	return e.checkSequential()
+}
+
+func (e *Engine) checkSequential() *CheckResult {
+	res := &CheckResult{Consistent: true, Timings: Timings{}}
+
+	t0 := time.Now()
+	pairs := e.scopeACLPairs()
+
+	// Theorem 4.1 preprocessing: compute Diff_Ω and filter every ACL down
+	// to its related rules.
+	var diff []acl.Rule
+	encodeACLs := make(map[string][2]*acl.ACL, len(pairs)) // binding ID -> {before, after}
+	if e.Opts.UseDifferential {
+		for _, p := range pairs {
+			diff = append(diff, acl.Differential(orPermitAll(p.before), orPermitAll(p.after))...)
+		}
+		// §6: control-related prefixes join the differential set so their
+		// related rules survive filtering.
+		for _, c := range e.Controls {
+			if !c.Match.IsAll() {
+				diff = append(diff, acl.Rule{Action: acl.Permit, Match: c.Match})
+			}
+		}
+		if len(diff) == 0 && len(e.Controls) == 0 {
+			// No rule changed anywhere: trivially consistent.
+			res.Timings.add("preprocess", time.Since(t0))
+			return res
+		}
+		for _, p := range pairs {
+			encodeACLs[p.binding.ID()] = [2]*acl.ACL{
+				acl.Related(orPermitAll(p.before), diff),
+				acl.Related(orPermitAll(p.after), diff),
+			}
+		}
+	} else {
+		for _, p := range pairs {
+			encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
+		}
+	}
+	res.Timings.add("preprocess", time.Since(t0))
+
+	t0 = time.Now()
+	fecs := e.FECs()
+	res.FECs = len(fecs)
+	res.Timings.add("fec", time.Since(t0))
+
+	t0 = time.Now()
+	enc := newEncoder(e.Opts.UseTournament)
+	solver := smt.SolverOn(enc.b)
+
+	for _, fec := range fecs {
+		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
+			// Fast path: no differential rule overlaps this FEC, so by
+			// Theorem 4.1 the update cannot change its reachability.
+			continue
+		}
+		viol := e.fecViolationFormula(enc, fec, encodeACLs)
+		if viol == smt.False {
+			continue
+		}
+		res.SolvedFECs++
+		if !solver.Solve(enc.b.And(viol, enc.classPred(fec.Classes))) {
+			continue
+		}
+		res.Consistent = false
+		v := Violation{Packet: solver.Packet(enc.pv), Classes: fec.Classes}
+		// Identify the disagreeing paths under the found model.
+		for _, p := range fec.Paths {
+			d, dp := e.pathFormulas(enc, p, encodeACLs)
+			if !solver.EvalInModel(enc.b.Iff(d, dp)) {
+				v.Paths = append(v.Paths, p)
+			}
+		}
+		res.Violations = append(res.Violations, v)
+		if !e.Opts.FindAllViolations {
+			break
+		}
+	}
+	res.Conflicts = solver.Stats().Conflicts
+	res.Timings.add("solve", time.Since(t0))
+	return res
+}
+
+// fecTouchesDiff reports whether any differential rule can match traffic
+// in the FEC (the Theorem 4.1 skip test).
+func (e *Engine) fecTouchesDiff(fec topo.FEC, diff []acl.Rule) bool {
+	for _, c := range fec.Classes {
+		cm := header.DstMatch(c)
+		for _, d := range diff {
+			if cm.Overlaps(d.Match) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fecViolationFormula builds ⋁_{p∈𝒴} ¬(desired_p ⇔ c'_p) for the FEC's
+// forwarding paths (Equation 3, with desired_p per §6 when controls are
+// present).
+func (e *Engine) fecViolationFormula(enc *encoder, fec topo.FEC, encodeACLs map[string][2]*acl.ACL) smt.F {
+	out := smt.False
+	for _, p := range fec.Paths {
+		desired, after := e.pathFormulas(enc, p, encodeACLs)
+		out = enc.b.Or(out, enc.b.Iff(desired, after).Not())
+	}
+	return out
+}
+
+// pathFormulas returns (desired_p, c'_p): the desired decision model of
+// path p (the original c_p adjusted by control intents) and the
+// post-update decision model.
+func (e *Engine) pathFormulas(enc *encoder, p topo.Path, encodeACLs map[string][2]*acl.ACL) (desired, after smt.F) {
+	before := smt.True
+	after = smt.True
+	for _, bind := range p.Bindings() {
+		pair, ok := encodeACLs[bind.ID()]
+		if !ok {
+			continue // no ACL in either snapshot
+		}
+		before = enc.b.And(before, enc.encodeACL(pair[0]))
+		after = enc.b.And(after, enc.encodeACL(pair[1]))
+	}
+	desired = e.desiredFormula(enc, p, before)
+	return desired, after
+}
+
+// desiredFormula composes the §6 reachability-update model r_p over the
+// original path decision: the first (highest-priority) control whose
+// From/To pair governs p and whose match covers the packet dictates the
+// outcome; otherwise the original decision is maintained.
+func (e *Engine) desiredFormula(enc *encoder, p topo.Path, orig smt.F) smt.F {
+	out := orig
+	// Later controls have lower priority, so fold in reverse: the first
+	// control ends up outermost.
+	for i := len(e.Controls) - 1; i >= 0; i-- {
+		c := e.Controls[i]
+		if !c.AppliesTo(p) {
+			continue
+		}
+		var val smt.F
+		switch c.Mode {
+		case Isolate:
+			val = smt.False
+		case Open:
+			val = smt.True
+		case Maintain:
+			val = orig
+		}
+		out = enc.b.Ite(enc.b.MatchPred(enc.pv, c.Match), val, out)
+	}
+	return out
+}

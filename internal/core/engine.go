@@ -1,0 +1,280 @@
+// Package core implements the Jinjing engine — the paper's contribution:
+// the check primitive (§4.1, Algorithm 1 with the differential-rules
+// optimization of Theorem 4.1), the fix primitive (§4.2, counterexample
+// neighborhoods and SMT-placed fixing rules), the generate primitive
+// (§5, ACL/dataplane equivalence classes and ACL synthesis), and the
+// control extension (§6, desired-reachability consistency).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/smt"
+	"jinjing/internal/topo"
+)
+
+// ControlMode is a §6 reachability-update verb.
+type ControlMode int
+
+// The control modes.
+const (
+	Isolate ControlMode = iota
+	Open
+	Maintain
+)
+
+// String renders the mode keyword.
+func (m ControlMode) String() string {
+	switch m {
+	case Isolate:
+		return "isolate"
+	case Open:
+		return "open"
+	default:
+		return "maintain"
+	}
+}
+
+// Control is a resolved reachability intent: traffic matching Match from
+// any of the From border interfaces to any of the To border interfaces is
+// isolated, opened, or maintained. Earlier controls take precedence over
+// later ones (§6).
+type Control struct {
+	From  map[string]bool // border interface IDs
+	To    map[string]bool
+	Mode  ControlMode
+	Match header.Match
+}
+
+// AppliesTo reports whether the control governs paths from p's entry
+// border interface to its exit border interface.
+func (c Control) AppliesTo(p topo.Path) bool {
+	return c.From[p.Src().ID()] && c.To[p.Dst().ID()]
+}
+
+// Options tune the engine. The zero value disables every optimization;
+// use DefaultOptions for the paper's full configuration. The switches
+// exist so the benchmarks can reproduce the paper's with/without-
+// optimization comparisons (Figures 4a–4c).
+type Options struct {
+	// UseDifferential enables the Theorem 4.1 preprocessing: ACLs are
+	// filtered to differential-related rules before encoding.
+	UseDifferential bool
+	// UseTournament selects the O(log n)-depth tournament decision
+	// encoding instead of the sequential one (§4.1).
+	UseTournament bool
+	// FindAllViolations makes Check enumerate one violation per FEC
+	// instead of returning at the first (fix needs them all).
+	FindAllViolations bool
+	// UseGrouping enables §5.5 rule grouping before sequence encoding.
+	UseGrouping bool
+	// SimplifyOutput runs model-preserving simplification over ACLs
+	// produced by fix and generate (§5.5 "generating fewer ACL rules",
+	// §4.2 "simplifying the final ACL").
+	SimplifyOutput bool
+	// UseSearchTree accelerates group-overlap computation with a prefix
+	// search tree (§5.5).
+	UseSearchTree bool
+	// MaxNeighborhoods caps the fix loop as a safety valve (0 = the
+	// default of 10000).
+	MaxNeighborhoods int
+	// DisableExpansion makes fix treat each counterexample packet as its
+	// own neighborhood — the strawman §4.2 warns needs over 10^31
+	// iterations in the worst case. Exists only for the ablation bench;
+	// use together with a small MaxNeighborhoods.
+	DisableExpansion bool
+	// Workers > 1 fans the check primitive's per-FEC queries out across
+	// that many goroutines (each with an independent solver).
+	Workers int
+}
+
+// DefaultOptions returns the paper's full configuration.
+func DefaultOptions() Options {
+	return Options{
+		UseDifferential:   true,
+		UseTournament:     true,
+		FindAllViolations: false,
+		UseGrouping:       true,
+		SimplifyOutput:    true,
+		UseSearchTree:     true,
+	}
+}
+
+// Engine runs Jinjing primitives over a network pair (before/after the
+// update) within a scope.
+type Engine struct {
+	Before   *topo.Network
+	After    *topo.Network
+	Scope    *topo.Scope
+	Controls []Control
+	// Allow lists the ACL attachment points fix may change and generate
+	// may write (the LAI allow region).
+	Allow []topo.ACLBinding
+	Opts  Options
+
+	// paths and classes are computed lazily and shared across primitives.
+	paths   []topo.Path
+	classes []header.Prefix
+	fecs    []topo.FEC
+}
+
+// New builds an engine. after may equal before (for pure generate tasks).
+func New(before, after *topo.Network, scope *topo.Scope, opts Options) *Engine {
+	if after == nil {
+		after = before
+	}
+	return &Engine{Before: before, After: after, Scope: scope, Opts: opts}
+}
+
+// Paths returns the structural path set P_Ω, computed once.
+func (e *Engine) Paths() []topo.Path {
+	if e.paths == nil {
+		e.paths = e.Before.AllPaths(e.Scope)
+	}
+	return e.paths
+}
+
+// controlPrefixes collects the prefixes named in control intents so
+// traffic classes are atomized against them (§6: "isolate and open
+// related prefixes need to be taken into account").
+func (e *Engine) controlPrefixes() []header.Prefix {
+	var out []header.Prefix
+	for _, c := range e.Controls {
+		if !c.Match.Dst.IsAny() {
+			out = append(out, c.Match.Dst)
+		}
+	}
+	return out
+}
+
+// Classes returns X_Ω, the entering-traffic destination classes.
+func (e *Engine) Classes() []header.Prefix {
+	if e.classes == nil {
+		e.classes = e.Before.EnteringTraffic(e.Scope, e.controlPrefixes()...)
+	}
+	return e.classes
+}
+
+// FECs returns the forwarding equivalence classes of the entering
+// traffic.
+func (e *Engine) FECs() []topo.FEC {
+	if e.fecs == nil {
+		e.fecs = topo.ComputeFECs(e.Paths(), e.Classes())
+	}
+	return e.fecs
+}
+
+// bindingACL returns the ACL bound at the binding's position in the given
+// network (nil when unbound there).
+func bindingACL(n *topo.Network, b topo.ACLBinding) *acl.ACL {
+	i, err := n.LookupInterface(b.Iface.ID())
+	if err != nil {
+		return nil
+	}
+	return i.ACL(b.Dir)
+}
+
+// aclPair is the before/after ACLs at one binding.
+type aclPair struct {
+	binding topo.ACLBinding
+	before  *acl.ACL // nil = permit all
+	after   *acl.ACL
+}
+
+// scopeACLPairs collects the before/after ACL pair at every binding that
+// carries an ACL in either snapshot.
+func (e *Engine) scopeACLPairs() []aclPair {
+	seen := map[string]bool{}
+	var out []aclPair
+	collect := func(n *topo.Network) {
+		for _, b := range n.ACLGroup(e.Scope) {
+			id := b.ID()
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, aclPair{
+				binding: b,
+				before:  bindingACL(e.Before, b),
+				after:   bindingACL(e.After, b),
+			})
+		}
+	}
+	collect(e.Before)
+	collect(e.After)
+	return out
+}
+
+// orPermitAll treats a nil ACL as permit-all for diffing and encoding.
+func orPermitAll(a *acl.ACL) *acl.ACL {
+	if a == nil {
+		return acl.PermitAll()
+	}
+	return a
+}
+
+// encoder caches ACL circuit encodings over a shared builder and
+// symbolic packet.
+type encoder struct {
+	b          *smt.Builder
+	pv         *smt.PacketVars
+	tournament bool
+	cache      map[*acl.ACL]smt.F
+}
+
+func newEncoder(tournament bool) *encoder {
+	b := smt.NewBuilder()
+	return &encoder{b: b, pv: b.NewPacketVars(), tournament: tournament, cache: make(map[*acl.ACL]smt.F)}
+}
+
+// encodeACL returns the decision-model circuit f_ξ for a (possibly nil)
+// ACL.
+func (enc *encoder) encodeACL(a *acl.ACL) smt.F {
+	if a == nil {
+		return smt.True
+	}
+	if f, ok := enc.cache[a]; ok {
+		return f
+	}
+	var f smt.F
+	if enc.tournament {
+		f = a.EncodeTournament(enc.b, enc.pv)
+	} else {
+		f = a.EncodeSeq(enc.b, enc.pv)
+	}
+	enc.cache[a] = f
+	return f
+}
+
+// classPred builds ψ for a set of destination classes: the packet's
+// destination lies in one of them.
+func (enc *encoder) classPred(classes []header.Prefix) smt.F {
+	out := smt.False
+	for _, c := range classes {
+		out = enc.b.Or(out, enc.b.MatchPred(enc.pv, header.DstMatch(c)))
+	}
+	return out
+}
+
+// Timings records per-phase wall-clock durations for the experiment
+// harness.
+type Timings map[string]time.Duration
+
+func (t Timings) add(phase string, d time.Duration) {
+	t[phase] += d
+}
+
+// String renders timings compactly.
+func (t Timings) String() string {
+	out := ""
+	for k, v := range t {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", k, v)
+	}
+	return out
+}

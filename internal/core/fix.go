@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/smt"
+	"jinjing/internal/topo"
+)
+
+// FixAction is one fixing-plan entry: prepend Rule to the ACL at Binding.
+type FixAction struct {
+	BindingID string // "device:interface:dir"
+	Rule      acl.Rule
+}
+
+// String renders the action.
+func (a FixAction) String() string {
+	return fmt.Sprintf("add to %s: %s", a.BindingID, a.Rule)
+}
+
+// FixResult reports the outcome of the fix primitive.
+type FixResult struct {
+	// Fixed is the After snapshot with the fixing plan applied.
+	Fixed *topo.Network
+	// Actions is the fixing plan: high-priority rules added on top of
+	// existing ACLs (§4.2).
+	Actions []FixAction
+	// Neighborhoods are the counterexample regions that required fixing.
+	Neighborhoods []header.Match
+	// Unfixable lists neighborhoods with no solution under the allow
+	// constraints.
+	Unfixable []header.Match
+	// Verified reports whether re-running Check on the fixed snapshot
+	// confirmed consistency.
+	Verified  bool
+	Conflicts int64
+	Timings   Timings
+}
+
+// Fix runs the fix primitive (§4.2): it enumerates counterexample
+// neighborhoods and synthesizes a minimal fixing plan restricted to the
+// engine's Allow bindings, then verifies the result.
+func (e *Engine) Fix() (*FixResult, error) {
+	res := &FixResult{Timings: Timings{}}
+	t0 := time.Now()
+
+	pairs := e.scopeACLPairs()
+	var diff []acl.Rule
+	encodeACLs := make(map[string][2]*acl.ACL, len(pairs))
+	if e.Opts.UseDifferential {
+		for _, p := range pairs {
+			diff = append(diff, acl.Differential(orPermitAll(p.before), orPermitAll(p.after))...)
+		}
+		for _, c := range e.Controls {
+			if !c.Match.IsAll() {
+				diff = append(diff, acl.Rule{Action: acl.Permit, Match: c.Match})
+			}
+		}
+		for _, p := range pairs {
+			encodeACLs[p.binding.ID()] = [2]*acl.ACL{
+				acl.Related(orPermitAll(p.before), diff),
+				acl.Related(orPermitAll(p.after), diff),
+			}
+		}
+	} else {
+		for _, p := range pairs {
+			encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
+		}
+	}
+
+	// The Equation 6 constancy criterion ranges over every decision model
+	// in F_Ω ∪ F'_Ω (full ACLs, not just related rules), plus the control
+	// matches.
+	cons := constancy{ctrls: e.Controls}
+	for _, p := range pairs {
+		cons.acls = append(cons.acls, orPermitAll(p.before), orPermitAll(p.after))
+	}
+	cons.computeBounds()
+	res.Timings.add("preprocess", time.Since(t0))
+
+	fixed := e.After.Clone()
+	allowSet := map[string]bool{}
+	for _, b := range e.Allow {
+		allowSet[b.ID()] = true
+	}
+
+	maxN := e.Opts.MaxNeighborhoods
+	if maxN == 0 {
+		maxN = 10000
+	}
+
+	t0 = time.Now()
+	enc := newEncoder(e.Opts.UseTournament)
+	solver := smt.SolverOn(enc.b)
+
+	for _, fec := range e.FECs() {
+		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
+			continue
+		}
+		viol := e.fecViolationFormula(enc, fec, encodeACLs)
+		if viol == smt.False {
+			continue
+		}
+		base := enc.b.And(viol, enc.classPred(fec.Classes))
+		cons.priors = cons.priors[:0]
+		// Seek neighborhoods: find a counterexample, enlarge it, exclude
+		// it, repeat until the violation formula is exhausted (§4.2).
+		for len(res.Neighborhoods)+len(res.Unfixable) < maxN {
+			if !solver.Solve(base) {
+				break
+			}
+			h := solver.Packet(enc.pv)
+			var nb header.Match
+			if e.Opts.DisableExpansion {
+				nb = exactMatch(h)
+			} else {
+				nb = expandNeighborhood(h, fec, &cons)
+			}
+			if err := e.fixNeighborhood(res, fixed, fec, nb, allowSet); err != nil {
+				return nil, err
+			}
+			// Later neighborhoods must stay disjoint from this one, or
+			// their fixing rules would shadow each other.
+			cons.priors = append(cons.priors, nb)
+			base = enc.b.And(base, enc.b.MatchPred(enc.pv, nb).Not())
+		}
+	}
+	res.Conflicts = solver.Stats().Conflicts
+	res.Timings.add("solve", time.Since(t0))
+
+	// Simplify the ACLs the plan touched (§4.2 extension).
+	if e.Opts.SimplifyOutput {
+		t0 = time.Now()
+		touched := map[string]topo.ACLBinding{}
+		for _, a := range res.Actions {
+			// Re-derive the binding from its ID on the fixed network.
+			id := a.BindingID
+			dir := topo.In
+			if len(id) > 4 && id[len(id)-4:] == ":out" {
+				dir = topo.Out
+				id = id[:len(id)-4]
+			} else {
+				id = id[:len(id)-3]
+			}
+			iface, err := fixed.LookupInterface(id)
+			if err == nil {
+				touched[a.BindingID] = topo.ACLBinding{Iface: iface, Dir: dir}
+			}
+		}
+		for _, b := range touched {
+			if a := b.Iface.ACL(b.Dir); a != nil {
+				b.Iface.SetACL(b.Dir, simplifyBounded(a))
+			}
+		}
+		res.Timings.add("simplify", time.Since(t0))
+	}
+
+	res.Fixed = fixed
+
+	// Verify: the fixed snapshot must pass check.
+	t0 = time.Now()
+	ver := &Engine{Before: e.Before, After: fixed, Scope: e.Scope, Controls: e.Controls, Opts: e.Opts}
+	res.Verified = ver.Check().Consistent
+	res.Timings.add("verify", time.Since(t0))
+	return res, nil
+}
+
+// simplifyBounded applies exact simplification to small ACLs and the fast
+// syntactic pass to large ones (exact simplification runs one SMT
+// equivalence query per rule).
+func simplifyBounded(a *acl.ACL) *acl.ACL {
+	const exactLimit = 64
+	fast := acl.SimplifyFast(a)
+	if len(fast.Rules) <= exactLimit {
+		return acl.Simplify(fast)
+	}
+	return fast
+}
+
+// fixNeighborhood solves the placement problem for one neighborhood
+// (Equations 3 and 7): find per-binding decisions D_{[h]_N}(ξ) on the
+// FEC's paths that restore the desired decision, minimizing the number of
+// bindings changed, honoring the allow constraints.
+func (e *Engine) fixNeighborhood(res *FixResult, fixed *topo.Network, fec topo.FEC, nb header.Match, allowSet map[string]bool) error {
+	s := smt.NewSolver()
+	b := s.B
+
+	// Decision variable or constant per binding on the FEC's paths.
+	vars := map[string]smt.F{}
+	consts := map[string]bool{}
+	var varIDs []string
+	bindingVal := func(bind topo.ACLBinding) smt.F {
+		id := bind.ID()
+		if f, ok := vars[id]; ok {
+			return f
+		}
+		if v, ok := consts[id]; ok {
+			return b.Const(v)
+		}
+		afterDec := decideOn(bindingACL(e.After, bind), nb)
+		if allowSet[id] {
+			f := b.Var()
+			vars[id] = f
+			varIDs = append(varIDs, id)
+			return f
+		}
+		consts[id] = bool(afterDec)
+		return b.Const(bool(afterDec))
+	}
+
+	for _, p := range fec.Paths {
+		lhs := smt.True
+		for _, bind := range p.Bindings() {
+			lhs = b.And(lhs, bindingVal(bind))
+		}
+		s.Assert(b.Iff(lhs, b.Const(e.desiredOnClass(p, nb))))
+	}
+
+	// Minimize the number of bindings whose decision differs from the
+	// update's current decision (each difference costs one fixing rule).
+	sort.Strings(varIDs)
+	var costs []smt.F
+	for _, id := range varIDs {
+		bind, err := lookupBinding(e.After, id)
+		if err != nil {
+			return err
+		}
+		afterDec := decideOn(bindingACL(e.After, bind), nb)
+		if afterDec == acl.Permit {
+			costs = append(costs, vars[id].Not())
+		} else {
+			costs = append(costs, vars[id])
+		}
+	}
+	if _, ok := s.SolveMinimize(costs); !ok {
+		res.Unfixable = append(res.Unfixable, nb)
+		return nil
+	}
+
+	res.Neighborhoods = append(res.Neighborhoods, nb)
+	for _, id := range varIDs {
+		bind, err := lookupBinding(e.After, id)
+		if err != nil {
+			return err
+		}
+		afterDec := decideOn(bindingACL(e.After, bind), nb)
+		got := acl.Action(s.Value(vars[id]))
+		if got == afterDec {
+			continue
+		}
+		rule := acl.Rule{Action: got, Match: nb}
+		fb, err := lookupBinding(fixed, id)
+		if err != nil {
+			return err
+		}
+		cur := fb.Iface.ACL(fb.Dir)
+		if cur == nil {
+			cur = acl.PermitAll()
+		}
+		cur.Rules = append([]acl.Rule{rule}, cur.Rules...)
+		fb.Iface.SetACL(fb.Dir, cur)
+		res.Actions = append(res.Actions, FixAction{BindingID: id, Rule: rule})
+	}
+	return nil
+}
+
+// desiredOnClass computes the desired (constant) decision of path p on
+// the neighborhood: the original path decision, overridden by the first
+// applicable control covering the class (§6).
+func (e *Engine) desiredOnClass(p topo.Path, nb header.Match) bool {
+	orig := true
+	for _, bind := range p.Bindings() {
+		if decideOn(bindingACL(e.Before, bind), nb) == acl.Deny {
+			orig = false
+			break
+		}
+	}
+	for _, c := range e.Controls {
+		if !c.AppliesTo(p) || !c.Match.Contains(nb) {
+			continue
+		}
+		switch c.Mode {
+		case Isolate:
+			return false
+		case Open:
+			return true
+		case Maintain:
+			return orig
+		}
+	}
+	return orig
+}
+
+// decideOn returns an ACL's uniform decision on a class that is atomic
+// with respect to it (guaranteed by neighborhood construction).
+func decideOn(a *acl.ACL, m header.Match) acl.Action {
+	if a == nil {
+		return acl.Permit
+	}
+	act, ok := a.DecideMatch(m)
+	if !ok {
+		panic(fmt.Sprintf("core: class %v not atomic wrt ACL %v", m, a))
+	}
+	return act
+}
+
+// lookupBinding resolves a "device:interface:dir" ID on a network.
+func lookupBinding(n *topo.Network, id string) (topo.ACLBinding, error) {
+	dir := topo.In
+	base := id
+	switch {
+	case len(id) > 4 && id[len(id)-4:] == ":out":
+		dir = topo.Out
+		base = id[:len(id)-4]
+	case len(id) > 3 && id[len(id)-3:] == ":in":
+		base = id[:len(id)-3]
+	default:
+		return topo.ACLBinding{}, fmt.Errorf("core: malformed binding ID %q", id)
+	}
+	iface, err := n.LookupInterface(base)
+	if err != nil {
+		return topo.ACLBinding{}, err
+	}
+	return topo.ACLBinding{Iface: iface, Dir: dir}, nil
+}
+
+// constancy is the Equation 6 validity oracle for neighborhood
+// expansion: a candidate region is valid when every decision model in
+// F_Ω ∪ F'_Ω is constant on it (each ACL's first containing rule is
+// reached with no straddling rule before it), every control match
+// contains it or is disjoint from it, and it avoids every previously
+// fixed neighborhood.
+type constancy struct {
+	acls  []*acl.ACL
+	ctrls []Control
+	// priors holds the neighborhoods already fixed within the current
+	// FEC; cross-FEC neighborhoods are disjoint by construction (FEC
+	// destination classes are disjoint atoms), so the list is reset per
+	// FEC to keep validity checks cheap.
+	priors []header.Match
+
+	// Deduplicated port-boundary candidates per field, computed once per
+	// Fix run — the only places the validity criterion can flip during
+	// port expansion.
+	dstLos, dstHis []uint16
+	srcLos, srcHis []uint16
+}
+
+// computeBounds harvests the distinct port boundaries of every rule and
+// control match.
+func (cn *constancy) computeBounds() {
+	dLo := map[uint16]bool{0: true}
+	dHi := map[uint16]bool{65535: true}
+	sLo := map[uint16]bool{0: true}
+	sHi := map[uint16]bool{65535: true}
+	add := func(lo, hi map[uint16]bool, r header.PortRange) {
+		if r.IsAny() {
+			return
+		}
+		lo[r.Lo] = true
+		if r.Hi < 65535 {
+			lo[r.Hi+1] = true
+		}
+		hi[r.Hi] = true
+		if r.Lo > 0 {
+			hi[r.Lo-1] = true
+		}
+	}
+	for _, a := range cn.acls {
+		for _, r := range a.Rules {
+			add(dLo, dHi, r.Match.DstPort)
+			add(sLo, sHi, r.Match.SrcPort)
+		}
+	}
+	for _, c := range cn.ctrls {
+		add(dLo, dHi, c.Match.DstPort)
+		add(sLo, sHi, c.Match.SrcPort)
+	}
+	toSorted := func(m map[uint16]bool, desc bool) []uint16 {
+		out := make([]uint16, 0, len(m))
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if desc {
+				return out[i] > out[j]
+			}
+			return out[i] < out[j]
+		})
+		return out
+	}
+	cn.dstLos, cn.dstHis = toSorted(dLo, false), toSorted(dHi, true)
+	cn.srcLos, cn.srcHis = toSorted(sLo, false), toSorted(sHi, true)
+}
+
+func (cn *constancy) valid(c header.Match) bool {
+	for _, a := range cn.acls {
+		if _, ok := a.DecideMatch(c); !ok {
+			return false
+		}
+	}
+	for _, ctrl := range cn.ctrls {
+		if !ctrl.Match.Contains(c) && ctrl.Match.Overlaps(c) {
+			return false
+		}
+	}
+	for _, p := range cn.priors {
+		if p.Overlaps(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// exactMatch is the singleton region containing only h.
+func exactMatch(h header.Packet) header.Match {
+	return header.Match{
+		Src:     header.Prefix{Addr: h.SrcIP, Len: 32},
+		Dst:     header.Prefix{Addr: h.DstIP, Len: 32},
+		SrcPort: header.PortRange{Lo: h.SrcPort, Hi: h.SrcPort},
+		DstPort: header.PortRange{Lo: h.DstPort, Hi: h.DstPort},
+		Proto:   header.Proto(h.Proto),
+	}
+}
+
+// expandNeighborhood enlarges the counterexample packet h into a maximal
+// 5-tuple region [h]_N on which every decision model in F_Ω ∪ F'_Ω is
+// constant and which stays inside h's FEC (Equation 6). Expansion is
+// per-field (destination, source, ports, protocol), mirroring the
+// paper's binary search over field masks.
+func expandNeighborhood(h header.Packet, fec topo.FEC, cons *constancy) header.Match {
+	m := header.Match{
+		Src:     header.Prefix{Addr: h.SrcIP, Len: 32},
+		Dst:     header.Prefix{Addr: h.DstIP, Len: 32},
+		SrcPort: header.PortRange{Lo: h.SrcPort, Hi: h.SrcPort},
+		DstPort: header.PortRange{Lo: h.DstPort, Hi: h.DstPort},
+		Proto:   header.Proto(h.Proto),
+	}
+	valid := cons.valid
+
+	// Destination: expand toward the FEC class containing h (ψ bound).
+	var class header.Prefix
+	for _, c := range fec.Classes {
+		if c.Matches(h.DstIP) {
+			class = c
+			break
+		}
+	}
+	for m.Dst.Len > class.Len {
+		cand := m
+		cand.Dst = m.Dst.Parent()
+		if !class.Contains(cand.Dst) || !valid(cand) {
+			break
+		}
+		m = cand
+	}
+	// Source: expand toward 0.0.0.0/0.
+	for m.Src.Len > 0 {
+		cand := m
+		cand.Src = m.Src.Parent()
+		if !valid(cand) {
+			break
+		}
+		m = cand
+	}
+	m.DstPort = expandPort(m, h.DstPort, false, valid, cons.dstLos, cons.dstHis)
+	m.SrcPort = expandPort(m, h.SrcPort, true, valid, cons.srcLos, cons.srcHis)
+	// Protocol: all-or-exact.
+	if cand := m; true {
+		cand.Proto = header.AnyProto
+		if valid(cand) {
+			m = cand
+		}
+	}
+	return m
+}
+
+// expandPort widens one port field around the packet's port to the
+// largest range passing the validity criterion: try the full range
+// first, then greedily pick the widest valid [lo, hi] whose endpoints
+// come from the precomputed rule boundaries (los ascending, his
+// descending).
+func expandPort(m header.Match, port uint16, src bool, valid func(header.Match) bool, los, his []uint16) header.PortRange {
+	set := func(c *header.Match, r header.PortRange) {
+		if src {
+			c.SrcPort = r
+		} else {
+			c.DstPort = r
+		}
+	}
+	cand := m
+	set(&cand, header.AnyPort)
+	if valid(cand) {
+		return header.AnyPort
+	}
+	best := header.PortRange{Lo: port, Hi: port}
+	bestLo := port
+	for _, lo := range los {
+		if lo > port {
+			break
+		}
+		c2 := m
+		set(&c2, header.PortRange{Lo: lo, Hi: port})
+		if valid(c2) {
+			bestLo = lo
+			break
+		}
+	}
+	for _, hi := range his {
+		if hi < port {
+			break
+		}
+		c2 := m
+		set(&c2, header.PortRange{Lo: bestLo, Hi: hi})
+		if valid(c2) {
+			best = header.PortRange{Lo: bestLo, Hi: hi}
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/smt"
+	"jinjing/internal/topo"
+)
+
+// GenerateResult reports the outcome of the generate primitive.
+type GenerateResult struct {
+	// Generated is the Before snapshot with source bindings cleared to
+	// permit-all and synthesized ACLs installed at the target bindings.
+	Generated *topo.Network
+	// ACLs maps target binding IDs to their synthesized ACLs.
+	ACLs map[string]*acl.ACL
+
+	Classes int // traffic classes derived
+	AECs    int // ACL equivalence classes (§5.1)
+	// DECSplitAECs counts AECs that were unsolvable at AEC level and
+	// required the dataplane split (§5.3).
+	DECSplitAECs int
+	// Unsolvable lists classes for which no decision assignment exists
+	// even at DEC level; non-empty means the intent has no valid plan.
+	Unsolvable []header.Match
+
+	// RulesGenerated is the total synthesized rule count across targets
+	// (before/after simplification, for the Fig. 4c/4d "length of
+	// generated ACLs" comparison).
+	RulesGenerated     int
+	RulesAfterSimplify int
+
+	Verified  bool
+	Conflicts int64
+	Timings   Timings
+}
+
+// aec is one ACL equivalence class with its solving state.
+type aec struct {
+	key     string
+	classes []header.Match
+	// decisions is the vector of original-ACL decisions across the
+	// encoding bindings (the class signature).
+	decisions []acl.Action
+	// ctrlIn[i] reports whether the class lies inside control i's match.
+	ctrlIn []bool
+
+	solved bool            // true when one decision per target suffices
+	dec    map[string]bool // target binding ID -> permit?
+	decs   []*decGroup     // DEC-level decisions when !solved
+}
+
+// decGroup is one dataplane equivalence class of an AEC: the member
+// classes sharing a forwarding behavior, with their own decisions.
+type decGroup struct {
+	classes []header.Match
+	paths   []topo.Path
+	dec     map[string]bool
+}
+
+// Generate runs the generate primitive (§5): it removes the ACLs at
+// sources (setting them to permit-all) and synthesizes new ACLs at the
+// engine's Allow bindings so that packet (or desired, under controls)
+// reachability is preserved.
+func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
+	res := &GenerateResult{ACLs: map[string]*acl.ACL{}, Timings: Timings{}}
+
+	srcSet := map[string]bool{}
+	for _, b := range sources {
+		srcSet[b.ID()] = true
+	}
+	tgtSet := map[string]bool{}
+	var targetIDs []string
+	for _, b := range e.Allow {
+		if !tgtSet[b.ID()] {
+			tgtSet[b.ID()] = true
+			targetIDs = append(targetIDs, b.ID())
+		}
+	}
+	sort.Strings(targetIDs)
+	if len(targetIDs) == 0 {
+		return nil, fmt.Errorf("core: generate needs at least one allowed target binding")
+	}
+
+	// Encoding bindings: every original ACL attachment in Ω (the columns
+	// of Table 4a).
+	encBindings := e.Before.ACLGroup(e.Scope)
+	encIdx := map[string]int{}
+	for i, b := range encBindings {
+		encIdx[b.ID()] = i
+	}
+
+	// Phase 1: derive classes and group them into AECs (§5.1).
+	t0 := time.Now()
+	classes, err := e.deriveClasses()
+	if err != nil {
+		return nil, err
+	}
+	res.Classes = len(classes)
+	aecs, err := e.deriveAECs(encBindings, classes)
+	if err != nil {
+		return nil, err
+	}
+	res.AECs = len(aecs)
+	res.Timings.add("derive-aec", time.Since(t0))
+
+	// Phase 2: solve each AEC, falling back to DECs (§5.2, §5.3).
+	t0 = time.Now()
+	paths := e.Paths()
+	fwdCache := map[header.Prefix][]topo.Path{}
+	fwdFor := func(dst header.Prefix) []topo.Path {
+		if p, ok := fwdCache[dst]; ok {
+			return p
+		}
+		p := topo.PathsForClass(paths, dst)
+		fwdCache[dst] = p
+		return p
+	}
+	var conflicts int64
+	for _, a := range aecs {
+		ok, nc := e.solveAEC(a, paths, encIdx, srcSet, tgtSet, targetIDs)
+		conflicts += nc
+		if ok {
+			a.solved = true
+			continue
+		}
+		// DEC split: group the AEC's classes by forwarding behavior.
+		res.DECSplitAECs++
+		groups := map[string]*decGroup{}
+		var order []string
+		for _, c := range a.classes {
+			fp := fwdFor(c.Dst)
+			keyParts := make([]string, len(fp))
+			for i, p := range fp {
+				keyParts[i] = p.Key()
+			}
+			key := strings.Join(keyParts, "|")
+			g, ok := groups[key]
+			if !ok {
+				g = &decGroup{paths: fp}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.classes = append(g.classes, c)
+		}
+		for _, key := range order {
+			g := groups[key]
+			sub := &aec{key: a.key, classes: g.classes, decisions: a.decisions, ctrlIn: a.ctrlIn}
+			ok, nc := e.solveAEC(sub, g.paths, encIdx, srcSet, tgtSet, targetIDs)
+			conflicts += nc
+			if !ok {
+				res.Unsolvable = append(res.Unsolvable, g.classes...)
+				continue
+			}
+			g.dec = sub.dec
+			a.decs = append(a.decs, g)
+		}
+	}
+	res.Conflicts = conflicts
+	res.Timings.add("solve", time.Since(t0))
+
+	if len(res.Unsolvable) > 0 {
+		// No valid plan for the intent (§5.3); report without synthesis.
+		return res, nil
+	}
+
+	// Phase 3: synthesize ACLs at each target (§5.4, with §5.5
+	// optimizations).
+	t0 = time.Now()
+	rows := e.buildRows(aecs, encBindings)
+	for _, id := range targetIDs {
+		synth := e.synthesizeTarget(id, rows)
+		res.RulesGenerated += len(synth.Rules)
+		if e.Opts.SimplifyOutput {
+			synth = simplifyBounded(synth)
+		}
+		res.RulesAfterSimplify += len(synth.Rules)
+		res.ACLs[id] = synth
+	}
+	res.Timings.add("synthesize", time.Since(t0))
+
+	// Build the generated network.
+	gen := e.Before.Clone()
+	for _, b := range sources {
+		gb, err := lookupBinding(gen, b.ID())
+		if err != nil {
+			return nil, err
+		}
+		gb.Iface.SetACL(gb.Dir, acl.PermitAll())
+	}
+	for id, a := range res.ACLs {
+		gb, err := lookupBinding(gen, id)
+		if err != nil {
+			return nil, err
+		}
+		gb.Iface.SetACL(gb.Dir, a)
+	}
+	res.Generated = gen
+
+	// Verify: the generated snapshot must pass check.
+	t0 = time.Now()
+	ver := &Engine{Before: e.Before, After: gen, Scope: e.Scope, Controls: e.Controls, Opts: e.Opts}
+	res.Verified = ver.Check().Consistent
+	res.Timings.add("verify", time.Since(t0))
+	return res, nil
+}
+
+// deriveAECs groups classes by their decision vector across the original
+// ACLs plus their control membership (§5.1, extended per §6).
+func (e *Engine) deriveAECs(encBindings []topo.ACLBinding, classes []header.Match) ([]*aec, error) {
+	groups := map[string]*aec{}
+	var order []string
+	for _, c := range classes {
+		decs := classDecisions(encBindings, c)
+		var key strings.Builder
+		for _, d := range decs {
+			if d == acl.Permit {
+				key.WriteByte('p')
+			} else {
+				key.WriteByte('d')
+			}
+		}
+		ctrlIn := make([]bool, len(e.Controls))
+		for i, ctrl := range e.Controls {
+			switch {
+			case ctrl.Match.Contains(c):
+				ctrlIn[i] = true
+				key.WriteByte('1')
+			case !ctrl.Match.Overlaps(c):
+				key.WriteByte('0')
+			default:
+				return nil, fmt.Errorf("core: class %v not atomic wrt control match %v", c, ctrl.Match)
+			}
+		}
+		k := key.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &aec{key: k, decisions: decs, ctrlIn: ctrlIn}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.classes = append(g.classes, c)
+	}
+	out := make([]*aec, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out, nil
+}
+
+// solveAEC finds per-target decisions for one AEC (or DEC) over the given
+// path set, per Equations 8–10. Decision variables are phrased as "deny"
+// variables so that unconstrained targets default to permit (the SAT
+// solver branches false-first). Returns false when unsatisfiable.
+func (e *Engine) solveAEC(a *aec, paths []topo.Path, encIdx map[string]int, srcSet, tgtSet map[string]bool, targetIDs []string) (bool, int64) {
+	s := smt.NewSolver()
+	b := s.B
+	denyVars := map[string]smt.F{}
+	for _, id := range targetIDs {
+		denyVars[id] = b.Var()
+	}
+
+	for _, p := range paths {
+		lhs := smt.True
+		for _, bind := range p.Bindings() {
+			id := bind.ID()
+			switch {
+			case tgtSet[id]:
+				lhs = b.And(lhs, denyVars[id].Not())
+			case srcSet[id]:
+				// Source interfaces permit all traffic after migration.
+			default:
+				if i, ok := encIdx[id]; ok {
+					lhs = b.And(lhs, b.Const(a.decisions[i] == acl.Permit))
+				}
+			}
+		}
+		s.Assert(b.Iff(lhs, b.Const(e.desiredForAEC(a, p, encIdx))))
+	}
+	if !s.Solve() {
+		return false, s.Stats().Conflicts
+	}
+	a.dec = make(map[string]bool, len(targetIDs))
+	for _, id := range targetIDs {
+		a.dec[id] = !s.Value(denyVars[id])
+	}
+	return true, s.Stats().Conflicts
+}
+
+// desiredForAEC computes the (constant) desired decision of path p on an
+// AEC: the original path decision, overridden by the first applicable
+// control whose match covers the class (§6).
+func (e *Engine) desiredForAEC(a *aec, p topo.Path, encIdx map[string]int) bool {
+	orig := true
+	for _, bind := range p.Bindings() {
+		if i, ok := encIdx[bind.ID()]; ok && a.decisions[i] == acl.Deny {
+			orig = false
+			break
+		}
+	}
+	for i, ctrl := range e.Controls {
+		if !ctrl.AppliesTo(p) || !a.ctrlIn[i] {
+			continue
+		}
+		switch ctrl.Mode {
+		case Isolate:
+			return false
+		case Open:
+			return true
+		case Maintain:
+			return orig
+		}
+	}
+	return orig
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/smt"
+)
+
+// CheckParallel is Check with the per-FEC SAT queries fanned out across
+// workers. All formulas are encoded once on a shared (then-immutable)
+// builder; each worker owns an independent SAT solver and lazily
+// clausifies the query cones it touches. Unlike Check, the parallel
+// version examines every differential-touched FEC even when the first
+// violation would suffice; violations come back in deterministic FEC
+// order.
+//
+// Use this only when per-FEC solving dominates: every worker clausifies
+// the shared ACL encodings into its own solver, a per-worker fixed cost.
+// On the evaluation WANs — whose queries are easy after the differential
+// reduction — that overhead exceeds the parallel gain, and
+// BenchmarkCheckParallelWAN records exactly that; the knob exists for
+// adversarial rule sets where individual Equation-3 queries are hard.
+func (e *Engine) CheckParallel(workers int) *CheckResult {
+	if workers <= 1 {
+		return e.checkSequential()
+	}
+	res := &CheckResult{Consistent: true, Timings: Timings{}}
+
+	t0 := time.Now()
+	pairs := e.scopeACLPairs()
+	var diff []acl.Rule
+	encodeACLs := make(map[string][2]*acl.ACL, len(pairs))
+	if e.Opts.UseDifferential {
+		for _, p := range pairs {
+			diff = append(diff, acl.Differential(orPermitAll(p.before), orPermitAll(p.after))...)
+		}
+		for _, c := range e.Controls {
+			if !c.Match.IsAll() {
+				diff = append(diff, acl.Rule{Action: acl.Permit, Match: c.Match})
+			}
+		}
+		if len(diff) == 0 && len(e.Controls) == 0 {
+			res.Timings.add("preprocess", time.Since(t0))
+			return res
+		}
+		for _, p := range pairs {
+			encodeACLs[p.binding.ID()] = [2]*acl.ACL{
+				acl.Related(orPermitAll(p.before), diff),
+				acl.Related(orPermitAll(p.after), diff),
+			}
+		}
+	} else {
+		for _, p := range pairs {
+			encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
+		}
+	}
+	res.Timings.add("preprocess", time.Since(t0))
+
+	t0 = time.Now()
+	fecs := e.FECs()
+	res.FECs = len(fecs)
+	res.Timings.add("fec", time.Since(t0))
+
+	// Encode every query once on a single shared builder (the expensive
+	// part), so workers only solve: the builder is immutable while the
+	// workers run, and each worker owns its own SAT solver and Tseitin
+	// mapping over the shared node DAG.
+	enc := newEncoder(e.Opts.UseTournament)
+	type job struct {
+		fecIdx   int
+		query    smt.F
+		pathIffs []smt.F
+	}
+	var jobs []job
+	for i, fec := range fecs {
+		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
+			continue
+		}
+		viol := e.fecViolationFormula(enc, fec, encodeACLs)
+		if viol == smt.False {
+			continue
+		}
+		j := job{fecIdx: i, query: enc.b.And(viol, enc.classPred(fec.Classes))}
+		for _, p := range fec.Paths {
+			d, dp := e.pathFormulas(enc, p, encodeACLs)
+			j.pathIffs = append(j.pathIffs, enc.b.Iff(d, dp))
+		}
+		jobs = append(jobs, j)
+	}
+	res.SolvedFECs = len(jobs)
+
+	type hit struct {
+		fecIdx int
+		v      Violation
+	}
+	var (
+		next      atomic.Int64
+		conflicts atomic.Int64
+		mu        sync.Mutex
+		hits      []hit
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			solver := smt.SolverOn(enc.b)
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(jobs) {
+					break
+				}
+				j := jobs[k]
+				if !solver.Solve(j.query) {
+					continue
+				}
+				fec := fecs[j.fecIdx]
+				v := Violation{Packet: solver.Packet(enc.pv), Classes: fec.Classes}
+				for pi, p := range fec.Paths {
+					if !solver.EvalInModel(j.pathIffs[pi]) {
+						v.Paths = append(v.Paths, p)
+					}
+				}
+				mu.Lock()
+				hits = append(hits, hit{fecIdx: j.fecIdx, v: v})
+				mu.Unlock()
+			}
+			conflicts.Add(solver.Stats().Conflicts)
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(hits, func(i, j int) bool { return hits[i].fecIdx < hits[j].fecIdx })
+	for _, h := range hits {
+		res.Consistent = false
+		res.Violations = append(res.Violations, h.v)
+		if !e.Opts.FindAllViolations {
+			break
+		}
+	}
+	res.Conflicts = conflicts.Load()
+	res.Timings.add("solve", time.Since(t0))
+	return res
+}

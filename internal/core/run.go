@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"jinjing/internal/lai"
+	"jinjing/internal/topo"
+)
+
+// Report is the outcome of running a full LAI program: one entry per
+// command executed.
+type Report struct {
+	Checks    []*CheckResult
+	Fixes     []*FixResult
+	Generates []*GenerateResult
+	// Final is the network snapshot after the last mutating command (the
+	// fixed or generated network), or the After snapshot when only checks
+	// ran.
+	Final *topo.Network
+}
+
+// FromResolved builds an engine from a resolved LAI program.
+func FromResolved(r *lai.Resolved, opts Options) *Engine {
+	e := New(r.Before, r.After, r.Scope, opts)
+	e.Allow = r.Allow
+	for _, c := range r.Controls {
+		ctrl := Control{
+			From:  map[string]bool{},
+			To:    map[string]bool{},
+			Match: c.Match,
+		}
+		switch c.Mode {
+		case lai.Isolate:
+			ctrl.Mode = Isolate
+		case lai.Open:
+			ctrl.Mode = Open
+		case lai.Maintain:
+			ctrl.Mode = Maintain
+		}
+		for _, i := range c.From {
+			ctrl.From[i.ID()] = true
+		}
+		for _, i := range c.To {
+			ctrl.To[i.ID()] = true
+		}
+		e.Controls = append(e.Controls, ctrl)
+	}
+	return e
+}
+
+// Run executes the resolved program's commands in order. For generate,
+// the sources are the modify-to-permit-all bindings (the §5 migration
+// convention).
+func Run(r *lai.Resolved, opts Options) (*Report, error) {
+	e := FromResolved(r, opts)
+	rep := &Report{Final: r.After}
+	for _, cmd := range r.Commands {
+		switch cmd {
+		case lai.Check:
+			rep.Checks = append(rep.Checks, e.Check())
+		case lai.Fix:
+			fr, err := e.Fix()
+			if err != nil {
+				return nil, err
+			}
+			rep.Fixes = append(rep.Fixes, fr)
+			rep.Final = fr.Fixed
+		case lai.Generate:
+			// The §5 migration convention: generate's source interfaces
+			// are the modify-to-permit-all targets. Other modify kinds
+			// change ACLs the AEC machinery would still read as original,
+			// so the combination is rejected rather than silently wrong.
+			if len(r.Cleared) != len(r.Modified) {
+				return nil, fmt.Errorf("core: generate supports only 'modify ... to permit-all' requirements; %d of %d modified bindings use another form",
+					len(r.Modified)-len(r.Cleared), len(r.Modified))
+			}
+			gr, err := e.Generate(r.Cleared)
+			if err != nil {
+				return nil, err
+			}
+			rep.Generates = append(rep.Generates, gr)
+			if gr.Generated != nil {
+				rep.Final = gr.Generated
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown command %v", cmd)
+		}
+	}
+	return rep, nil
+}
+
+// Print writes a human-readable summary of the report.
+func (rep *Report) Print(w io.Writer) {
+	for _, c := range rep.Checks {
+		if c.Consistent {
+			fmt.Fprintf(w, "check: consistent (%d FECs, %d solved)\n", c.FECs, c.SolvedFECs)
+			continue
+		}
+		fmt.Fprintf(w, "check: INCONSISTENT (%d FECs, %d solved)\n", c.FECs, c.SolvedFECs)
+		for _, v := range c.Violations {
+			fmt.Fprintf(w, "  counterexample %v\n", v.Packet)
+			for _, p := range v.Paths {
+				fmt.Fprintf(w, "    decision changed on %v\n", p)
+			}
+		}
+	}
+	for _, f := range rep.Fixes {
+		fmt.Fprintf(w, "fix: %d neighborhoods, %d rules added, verified=%v\n",
+			len(f.Neighborhoods), len(f.Actions), f.Verified)
+		for _, a := range f.Actions {
+			fmt.Fprintf(w, "  %s\n", a)
+		}
+		for _, nb := range f.Unfixable {
+			fmt.Fprintf(w, "  UNFIXABLE neighborhood %v\n", nb)
+		}
+	}
+	for _, g := range rep.Generates {
+		if len(g.Unsolvable) > 0 {
+			fmt.Fprintf(w, "generate: NO VALID PLAN (%d unsolvable classes)\n", len(g.Unsolvable))
+			continue
+		}
+		fmt.Fprintf(w, "generate: %d classes, %d AECs (%d DEC-split), %d rules, verified=%v\n",
+			g.Classes, g.AECs, g.DECSplitAECs, g.RulesAfterSimplify, g.Verified)
+		ids := make([]string, 0, len(g.ACLs))
+		for id := range g.ACLs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "  %s: %s\n", id, g.ACLs[id])
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/topo"
+)
+
+// row is one entry of the synthesis table (Table 4b): a sequence-encoding
+// vector, the overlap-field matches, and the AEC it came from.
+type row struct {
+	seq      []int
+	overlaps []header.Match
+	a        *aec
+}
+
+// maxOverlapsPerRow bounds the overlap-field expansion of one row.
+const maxOverlapsPerRow = 4096
+
+// ruleGrouping maps each rule of a source ACL to a group index (§5.5
+// "grouping ACL rules before sequence encoding"). Groups are consecutive
+// rule runs in which any two rules with different actions are
+// non-overlapping, so each atomic class hits a well-defined member. The
+// default catch-all is group NumGroups.
+type ruleGrouping struct {
+	groupOf   []int
+	numGroups int
+}
+
+// groupRules computes the grouping; with grouping disabled each rule is
+// its own group (sequence encoding then degenerates to rule indices, the
+// unoptimized Table 4a form).
+func groupRules(rules []acl.Rule, enabled bool) ruleGrouping {
+	g := ruleGrouping{groupOf: make([]int, len(rules))}
+	if !enabled {
+		for i := range rules {
+			g.groupOf[i] = i
+		}
+		g.numGroups = len(rules)
+		return g
+	}
+	cur := 0
+	var members []int
+	for i := range rules {
+		ok := true
+		for _, j := range members {
+			if rules[j].Action != rules[i].Action && rules[j].Match.Overlaps(rules[i].Match) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			cur++
+			members = members[:0]
+		}
+		members = append(members, i)
+		g.groupOf[i] = cur
+	}
+	if len(rules) > 0 {
+		g.numGroups = g.groupOf[len(rules)-1] + 1
+	}
+	return g
+}
+
+// hitIndexer finds, per traffic class, the first rule of an ACL that
+// contains it. With the §5.5 search tree enabled, candidate rules are
+// found by walking the class's destination-prefix ancestors in a prefix
+// index instead of scanning the whole rule list.
+type hitIndexer struct {
+	rules    []acl.Rule
+	dstIndex map[header.Prefix][]int // rule indices by rule destination prefix
+}
+
+func newHitIndexer(a *acl.ACL, useTree bool) *hitIndexer {
+	h := &hitIndexer{rules: a.Rules}
+	if useTree {
+		h.dstIndex = make(map[header.Prefix][]int)
+		for i, r := range a.Rules {
+			d := r.Match.Dst
+			h.dstIndex[d] = append(h.dstIndex[d], i)
+		}
+	}
+	return h
+}
+
+// hit returns the index of the first rule containing the class, or
+// len(rules) for the default.
+func (h *hitIndexer) hit(class header.Match) int {
+	if h.dstIndex == nil {
+		for i, r := range h.rules {
+			if r.Match.Contains(class) {
+				return i
+			}
+		}
+		return len(h.rules)
+	}
+	// Only rules whose destination prefix contains the class destination
+	// can contain the class; those prefixes are exactly the ancestors of
+	// class.Dst (including itself).
+	best := len(h.rules)
+	p := class.Dst
+	for {
+		for _, i := range h.dstIndex[p] {
+			if i < best && h.rules[i].Match.Contains(class) {
+				best = i
+			}
+		}
+		if p.Len == 0 {
+			break
+		}
+		p = p.Parent()
+	}
+	return best
+}
+
+// buildRows performs synthesis steps 1 and 2 (§5.4): sequence encoding
+// over the original ACL-carrying bindings (plus virtual positions for
+// control intents) and overlap-field computation, with the §5.5 grouping
+// and search-tree optimizations when enabled.
+func (e *Engine) buildRows(aecs []*aec, encBindings []topo.ACLBinding) []row {
+	type bindState struct {
+		grouping ruleGrouping
+		indexer  *hitIndexer
+		rules    []acl.Rule
+	}
+	states := make([]bindState, len(encBindings))
+	for i, b := range encBindings {
+		a := b.Iface.ACL(b.Dir)
+		states[i] = bindState{
+			grouping: groupRules(a.Rules, e.Opts.UseGrouping),
+			indexer:  newHitIndexer(a, e.Opts.UseSearchTree),
+			rules:    a.Rules,
+		}
+	}
+
+	var rows []row
+	for _, a := range aecs {
+		// Per binding: group index -> union of member matches hit.
+		dims := make([]map[int][]header.Match, len(encBindings))
+		for i := range dims {
+			dims[i] = map[int][]header.Match{}
+		}
+		for _, c := range a.classes {
+			for i := range encBindings {
+				st := &states[i]
+				hit := st.indexer.hit(c)
+				grp := st.grouping.numGroups // default group
+				contrib := header.MatchAll
+				if hit < len(st.rules) {
+					grp = st.grouping.groupOf[hit]
+					contrib = st.rules[hit].Match
+				}
+				if !containsMatch(dims[i][grp], contrib) {
+					dims[i][grp] = append(dims[i][grp], contrib)
+				}
+			}
+		}
+		// Cross product of per-binding group choices, then the control
+		// dimensions (one virtual two-row ACL per control intent).
+		entries := []row{{seq: nil, overlaps: []header.Match{header.MatchAll}, a: a}}
+		for i := range encBindings {
+			keys := make([]int, 0, len(dims[i]))
+			for k := range dims[i] {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			var next []row
+			for _, en := range entries {
+				for _, k := range keys {
+					ov := intersectAll(en.overlaps, dims[i][k])
+					if len(ov) == 0 {
+						continue
+					}
+					seq := append(append([]int(nil), en.seq...), k)
+					next = append(next, row{seq: seq, overlaps: ov, a: a})
+				}
+			}
+			entries = next
+		}
+		for i, ctrl := range e.Controls {
+			for j := range entries {
+				if a.ctrlIn[i] {
+					entries[j].seq = append(entries[j].seq, 0)
+					entries[j].overlaps = intersectAll(entries[j].overlaps, []header.Match{ctrl.Match})
+				} else {
+					entries[j].seq = append(entries[j].seq, 1)
+				}
+			}
+			// Drop entries whose overlap vanished against the control.
+			keep := entries[:0]
+			for _, en := range entries {
+				if len(en.overlaps) > 0 {
+					keep = append(keep, en)
+				}
+			}
+			entries = keep
+		}
+		rows = append(rows, entries...)
+	}
+
+	sort.SliceStable(rows, func(i, j int) bool { return seqLess(rows[i].seq, rows[j].seq) })
+	return rows
+}
+
+func seqLess(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// intersectAll intersects two match unions, dropping empty and duplicate
+// results.
+func intersectAll(as, bs []header.Match) []header.Match {
+	var out []header.Match
+	for _, a := range as {
+		for _, b := range bs {
+			if m, ok := a.Intersect(b); ok && !containsMatch(out, m) {
+				out = append(out, m)
+				if len(out) > maxOverlapsPerRow {
+					panic(fmt.Sprintf("core: overlap expansion exceeded %d matches", maxOverlapsPerRow))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func containsMatch(ms []header.Match, m header.Match) bool {
+	for _, x := range ms {
+		if x.Equal(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// synthesizeTarget performs synthesis steps 3 and 4 (§5.4) for one
+// target binding: walk the sorted rows, emitting each row's decision over
+// its overlap matches, with deny insertions for partially-denied
+// DEC-split rows.
+func (e *Engine) synthesizeTarget(targetID string, rows []row) *acl.ACL {
+	out := &acl.ACL{Default: acl.Permit}
+	for _, r := range rows {
+		if r.a.solved {
+			act := acl.Action(r.a.dec[targetID])
+			for _, ov := range r.overlaps {
+				out.Rules = append(out.Rules, acl.Rule{Action: act, Match: ov})
+			}
+			continue
+		}
+		// DEC-split AEC: uniform if all groups agree at this target.
+		permits, denies := 0, 0
+		for _, g := range r.a.decs {
+			if g.dec[targetID] {
+				permits++
+			} else {
+				denies++
+			}
+		}
+		switch {
+		case denies == 0 || permits == 0:
+			act := acl.Action(denies == 0)
+			for _, ov := range r.overlaps {
+				out.Rules = append(out.Rules, acl.Rule{Action: act, Match: ov})
+			}
+		default:
+			// permit* handling: insert denies for the denied DECs'
+			// classes before the partial permit (§5.4 step 4).
+			for _, g := range r.a.decs {
+				if g.dec[targetID] {
+					continue
+				}
+				for _, c := range g.classes {
+					for _, ov := range r.overlaps {
+						if m, ok := c.Intersect(ov); ok {
+							out.Rules = append(out.Rules, acl.Rule{Action: acl.Deny, Match: m})
+						}
+					}
+				}
+			}
+			for _, ov := range r.overlaps {
+				out.Rules = append(out.Rules, acl.Rule{Action: acl.Permit, Match: ov})
+			}
+		}
+	}
+	return out
+}

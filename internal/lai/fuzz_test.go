@@ -1,0 +1,37 @@
+package lai_test
+
+import (
+	"testing"
+
+	"jinjing/internal/lai"
+)
+
+// FuzzParse exercises the LAI parser with Go's native fuzzing (the seed
+// corpus runs as part of the normal test suite; `go test -fuzz=FuzzParse
+// ./internal/lai` explores further).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"scope A:*\ncheck",
+		"scope A:1 and B:2\nallow A:*-in\nmodify A:1 to permit-all\ngenerate",
+		"scope A:*\ncontrol A:1 -> B:2 isolate from 1.2.0.0/16\ngenerate",
+		"acl x { permit all }\nscope A:*\nmodify A:1 to acl x\ncheck\nfix",
+		"scope A:*\nentry A:1\n# comment\ncheck",
+		"scope",
+		"control -> isolate",
+		"acl { }",
+		"\x00\x01scope A:*",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := lai.Parse(src)
+		if err != nil {
+			return
+		}
+		// Any accepted program must format and re-parse without panicking
+		// (though inline ACL definitions are not re-emitted by Format).
+		_ = p.Format()
+		_ = p.LineCount()
+	})
+}

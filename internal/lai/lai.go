@@ -1,0 +1,531 @@
+// Package lai implements LAI ("Language for ACL Intents"), the paper's
+// declarative intent language (Figure 2), plus the production extensions
+// visible in §7's Scenario 1: interface globs with direction suffixes
+// (R1:*-in), comma-separated interface lists, and "isolate from/to
+// <prefix>" header forms.
+//
+// An LAI program has three parts:
+//
+//	region:      scope <iflist>; allow <iflist>        (where, and what may change)
+//	requirement: modify <iflist> [to ...]; control ... (what the update is)
+//	command:     check | fix | generate                (what to do)
+//
+// This implementation adds two self-containment conveniences: inline ACL
+// definitions (acl NAME { rules }) usable as "modify X to acl NAME", and
+// an "entry <iflist>" statement restricting where traffic enters the
+// scope (the paper gets this from its IP management system).
+package lai
+
+import (
+	"fmt"
+	"strings"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+)
+
+// Command is one of the three LAI operations.
+type Command int
+
+// The LAI commands, in increasing degree of automation (§3.1).
+const (
+	Check Command = iota
+	Fix
+	Generate
+)
+
+// String renders the command keyword.
+func (c Command) String() string {
+	switch c {
+	case Check:
+		return "check"
+	case Fix:
+		return "fix"
+	default:
+		return "generate"
+	}
+}
+
+// DirFilter restricts an interface pattern to one ACL direction.
+type DirFilter int
+
+// Direction filters: none (both directions), ingress, egress.
+const (
+	AnyDir DirFilter = iota
+	InOnly
+	OutOnly
+)
+
+// IfPattern is one element of an interface list l⟨n⟩: a device name plus
+// an interface name or "*", optionally direction-qualified ("R1:*-in").
+type IfPattern struct {
+	Device string
+	Iface  string // "*" for all interfaces
+	Dir    DirFilter
+}
+
+// String renders the pattern back in LAI syntax.
+func (p IfPattern) String() string {
+	s := p.Device + ":" + p.Iface
+	switch p.Dir {
+	case InOnly:
+		s += "-in"
+	case OutOnly:
+		s += "-out"
+	}
+	return s
+}
+
+// ModifyKind says how a modify statement rewrites its targets.
+type ModifyKind int
+
+// The modify forms.
+const (
+	// FromUpdated takes the target's ACL from the post-update snapshot
+	// supplied alongside the program (the paper's "modify l⟨n⟩ to l⟨n'⟩"
+	// where primed interfaces carry the operator's hand-written update).
+	FromUpdated ModifyKind = iota
+	// ToPermitAll clears the target's ACLs ("modify S to permit all
+	// traffic", the source side of a migration in §5).
+	ToPermitAll
+	// ToNamedACL installs an inline-defined ACL.
+	ToNamedACL
+)
+
+// Modify is one modify statement.
+type Modify struct {
+	Targets []IfPattern
+	Kind    ModifyKind
+	ACLName string // for ToNamedACL
+}
+
+// ControlMode is the reachability-update verb of a control statement.
+type ControlMode int
+
+// The §6 control modes.
+const (
+	Isolate ControlMode = iota
+	Open
+	Maintain
+)
+
+// String renders the mode keyword.
+func (m ControlMode) String() string {
+	switch m {
+	case Isolate:
+		return "isolate"
+	case Open:
+		return "open"
+	default:
+		return "maintain"
+	}
+}
+
+// Control is one control statement: for traffic from the From interfaces
+// to the To interfaces matching Match, apply Mode. Priority between
+// overlapping controls follows specification order (§6).
+type Control struct {
+	From  []IfPattern
+	To    []IfPattern
+	Mode  ControlMode
+	Match header.Match
+}
+
+// Program is a parsed LAI program.
+type Program struct {
+	Scope    []IfPattern
+	Entries  []IfPattern
+	Allow    []IfPattern
+	Modifies []Modify
+	Controls []Control
+	Commands []Command
+	ACLDefs  map[string]*acl.ACL
+}
+
+// LineCount returns the number of LAI source lines the program occupies
+// when pretty-printed — the metric of the paper's Table 5.
+func (p *Program) LineCount() int {
+	return strings.Count(strings.TrimSpace(p.Format()), "\n") + 1
+}
+
+// Format pretty-prints the program in canonical LAI syntax.
+func (p *Program) Format() string {
+	var b strings.Builder
+	writeList := func(pats []IfPattern) {
+		for i, pt := range pats {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(pt.String())
+		}
+	}
+	if len(p.Scope) > 0 {
+		b.WriteString("scope ")
+		writeList(p.Scope)
+		b.WriteString("\n")
+	}
+	if len(p.Entries) > 0 {
+		b.WriteString("entry ")
+		writeList(p.Entries)
+		b.WriteString("\n")
+	}
+	if len(p.Allow) > 0 {
+		b.WriteString("allow ")
+		writeList(p.Allow)
+		b.WriteString("\n")
+	}
+	for _, m := range p.Modifies {
+		b.WriteString("modify ")
+		writeList(m.Targets)
+		switch m.Kind {
+		case ToPermitAll:
+			b.WriteString(" to permit-all")
+		case ToNamedACL:
+			b.WriteString(" to acl " + m.ACLName)
+		}
+		b.WriteString("\n")
+	}
+	for _, c := range p.Controls {
+		b.WriteString("control ")
+		writeList(c.From)
+		b.WriteString(" -> ")
+		writeList(c.To)
+		b.WriteString(" " + c.Mode.String())
+		if !c.Match.Src.IsAny() {
+			b.WriteString(" from " + c.Match.Src.String())
+		}
+		if !c.Match.Dst.IsAny() || c.Match.Src.IsAny() {
+			b.WriteString(" to " + c.Match.Dst.String())
+		}
+		b.WriteString("\n")
+	}
+	for _, c := range p.Commands {
+		b.WriteString(c.String() + "\n")
+	}
+	return b.String()
+}
+
+// token kinds.
+type tokKind int
+
+const (
+	tokWord tokKind = iota
+	tokComma
+	tokSemi
+	tokArrow
+	tokLBrace
+	tokRBrace
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			toks = append(toks, token{tokSemi, "\n", line})
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", line})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", line})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", line})
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tokArrow, "->", line})
+			i += 2
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\r\n,;{}#", rune(src[j])) {
+				if src[j] == '-' && j+1 < len(src) && src[j+1] == '>' {
+					break
+				}
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("lai: line %d: unexpected character %q", line, c)
+			}
+			toks = append(toks, token{tokWord, src[i:j], line})
+			i = j
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipSemis() {
+	for p.peek().kind == tokSemi {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("lai: line %d: "+format, append([]interface{}{p.peek().line}, args...)...)
+}
+
+// Parse parses an LAI program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{ACLDefs: make(map[string]*acl.ACL)}
+	for {
+		p.skipSemis()
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokWord {
+			return nil, p.errf("expected statement keyword, got %q", t.text)
+		}
+		switch t.text {
+		case "scope":
+			p.next()
+			prog.Scope, err = p.parseIfList()
+		case "entry":
+			p.next()
+			prog.Entries, err = p.parseIfList()
+		case "allow":
+			p.next()
+			prog.Allow, err = p.parseIfList()
+		case "modify":
+			p.next()
+			var m Modify
+			m, err = p.parseModify()
+			prog.Modifies = append(prog.Modifies, m)
+		case "control":
+			p.next()
+			var c Control
+			c, err = p.parseControl()
+			prog.Controls = append(prog.Controls, c)
+		case "check":
+			p.next()
+			prog.Commands = append(prog.Commands, Check)
+		case "fix":
+			p.next()
+			prog.Commands = append(prog.Commands, Fix)
+		case "generate":
+			p.next()
+			prog.Commands = append(prog.Commands, Generate)
+		case "acl":
+			p.next()
+			err = p.parseACLDef(prog)
+		default:
+			return nil, p.errf("unknown statement %q", t.text)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(prog.Commands) == 0 {
+		return nil, fmt.Errorf("lai: program has no command (check, fix, or generate)")
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) parseIfList() ([]IfPattern, error) {
+	var out []IfPattern
+	for {
+		t := p.peek()
+		if t.kind != tokWord {
+			return nil, p.errf("expected interface pattern, got %q", t.text)
+		}
+		pat, err := parsePattern(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		p.next()
+		out = append(out, pat)
+		// Separators: "," or the keyword "and".
+		switch {
+		case p.peek().kind == tokComma:
+			p.next()
+		case p.peek().kind == tokWord && p.peek().text == "and":
+			p.next()
+		default:
+			return out, nil
+		}
+	}
+}
+
+func parsePattern(s string) (IfPattern, error) {
+	raw := strings.TrimSuffix(s, "'") // primed names refer to updated versions
+	parts := strings.SplitN(raw, ":", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return IfPattern{}, fmt.Errorf("interface pattern %q is not device:interface", s)
+	}
+	pat := IfPattern{Device: parts[0], Iface: parts[1]}
+	switch {
+	case strings.HasSuffix(pat.Iface, "-in"):
+		pat.Iface = strings.TrimSuffix(pat.Iface, "-in")
+		pat.Dir = InOnly
+	case strings.HasSuffix(pat.Iface, "-out"):
+		pat.Iface = strings.TrimSuffix(pat.Iface, "-out")
+		pat.Dir = OutOnly
+	}
+	if pat.Iface == "" {
+		return IfPattern{}, fmt.Errorf("interface pattern %q has empty interface", s)
+	}
+	return pat, nil
+}
+
+func (p *parser) parseModify() (Modify, error) {
+	targets, err := p.parseIfList()
+	if err != nil {
+		return Modify{}, err
+	}
+	m := Modify{Targets: targets, Kind: FromUpdated}
+	if p.peek().kind == tokWord && p.peek().text == "to" {
+		p.next()
+		t := p.peek()
+		switch {
+		case t.kind == tokWord && (t.text == "permit-all" || t.text == "permit-all'"):
+			p.next()
+			m.Kind = ToPermitAll
+		case t.kind == tokWord && t.text == "acl":
+			p.next()
+			name := p.next()
+			if name.kind != tokWord {
+				return Modify{}, p.errf("expected ACL name after 'to acl'")
+			}
+			m.Kind = ToNamedACL
+			m.ACLName = name.text
+		default:
+			// "to A:1', C:1'" — the primed echo form; targets already say
+			// which interfaces change, so just consume the list.
+			if _, err := p.parseIfList(); err != nil {
+				return Modify{}, err
+			}
+			m.Kind = FromUpdated
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseControl() (Control, error) {
+	from, err := p.parseIfList()
+	if err != nil {
+		return Control{}, err
+	}
+	if p.peek().kind != tokArrow {
+		return Control{}, p.errf("expected '->' in control statement")
+	}
+	p.next()
+	to, err := p.parseIfList()
+	if err != nil {
+		return Control{}, err
+	}
+	modeTok := p.next()
+	var mode ControlMode
+	switch modeTok.text {
+	case "isolate":
+		mode = Isolate
+	case "open":
+		mode = Open
+	case "maintain":
+		mode = Maintain
+	default:
+		return Control{}, p.errf("expected isolate/open/maintain, got %q", modeTok.text)
+	}
+	match := header.MatchAll
+	// Header forms: "src <p>", "dst <p>", "from <p>", "to <p>"; at most
+	// one of each side may appear, in either order.
+	for p.peek().kind == tokWord {
+		key := p.peek().text
+		if key != "src" && key != "dst" && key != "from" && key != "to" {
+			break
+		}
+		p.next()
+		val := p.next()
+		if val.kind != tokWord {
+			return Control{}, p.errf("expected prefix after %q", key)
+		}
+		pfx, err := header.ParsePrefix(val.text)
+		if err != nil {
+			return Control{}, p.errf("%v", err)
+		}
+		if key == "src" || key == "from" {
+			match.Src = pfx
+		} else {
+			match.Dst = pfx
+		}
+	}
+	return Control{From: from, To: to, Mode: mode, Match: match}, nil
+}
+
+func (p *parser) parseACLDef(prog *Program) error {
+	name := p.next()
+	if name.kind != tokWord {
+		return p.errf("expected ACL name after 'acl'")
+	}
+	if p.next().kind != tokLBrace {
+		return p.errf("expected '{' after ACL name")
+	}
+	var parts []string
+	for {
+		t := p.next()
+		switch t.kind {
+		case tokRBrace:
+			a, err := acl.Parse(strings.Join(parts, " "))
+			if err != nil {
+				return fmt.Errorf("lai: in acl %s: %v", name.text, err)
+			}
+			prog.ACLDefs[name.text] = a
+			return nil
+		case tokEOF:
+			return p.errf("unterminated acl block %q", name.text)
+		case tokComma, tokSemi:
+			parts = append(parts, ",")
+		default:
+			parts = append(parts, t.text)
+		}
+	}
+}

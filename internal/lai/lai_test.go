@@ -1,0 +1,304 @@
+package lai_test
+
+import (
+	"strings"
+	"testing"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/lai"
+	"jinjing/internal/papernet"
+	"jinjing/internal/topo"
+)
+
+const runningExample = `
+# Figure 3: the running example of §3.2.
+scope A:*, B:*, C:*, D:*
+entry A:1
+allow A:*, B:*
+
+acl A1new {
+  deny dst 1.0.0.0/8, deny dst 2.0.0.0/8, deny dst 6.0.0.0/8, permit all
+}
+acl A3new {
+  deny dst 7.0.0.0/8, permit all
+}
+
+modify D:2, C:1 to permit-all
+modify A:1 to acl A1new
+modify A:3-out to acl A3new
+check
+fix
+`
+
+func TestParseRunningExample(t *testing.T) {
+	p, err := lai.Parse(runningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scope) != 4 || p.Scope[0] != (lai.IfPattern{Device: "A", Iface: "*"}) {
+		t.Fatalf("scope = %v", p.Scope)
+	}
+	if len(p.Allow) != 2 {
+		t.Fatalf("allow = %v", p.Allow)
+	}
+	if len(p.Modifies) != 3 {
+		t.Fatalf("modifies = %v", p.Modifies)
+	}
+	if p.Modifies[0].Kind != lai.ToPermitAll || len(p.Modifies[0].Targets) != 2 {
+		t.Fatalf("modify[0] = %+v", p.Modifies[0])
+	}
+	if p.Modifies[1].Kind != lai.ToNamedACL || p.Modifies[1].ACLName != "A1new" {
+		t.Fatalf("modify[1] = %+v", p.Modifies[1])
+	}
+	if p.Modifies[2].Targets[0].Dir != lai.OutOnly {
+		t.Fatalf("modify[2] should be egress-qualified: %+v", p.Modifies[2])
+	}
+	if len(p.Commands) != 2 || p.Commands[0] != lai.Check || p.Commands[1] != lai.Fix {
+		t.Fatalf("commands = %v", p.Commands)
+	}
+	a1 := p.ACLDefs["A1new"]
+	if a1 == nil || len(a1.Rules) != 3 || a1.Default != acl.Permit {
+		t.Fatalf("A1new = %v", a1)
+	}
+}
+
+func TestParseScenario1(t *testing.T) {
+	// §7 Scenario 1, lightly adapted to the fixture's device names.
+	src := `
+scope R1:*, R2:*, R3:*
+allow R1:*-in, R2:*-in, R3:*-in
+control R1:*, R2:* -> R3:*-out isolate from 1.2.0.0/16
+control R3:*-in -> R1:*, R2:* isolate to 1.2.0.0/16
+generate
+`
+	p, err := lai.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Controls) != 2 {
+		t.Fatalf("controls = %v", p.Controls)
+	}
+	c0 := p.Controls[0]
+	if c0.Mode != lai.Isolate || c0.Match.Src != header.MustParsePrefix("1.2.0.0/16") {
+		t.Fatalf("control[0] = %+v", c0)
+	}
+	if len(c0.From) != 2 || c0.From[0].Dir != lai.AnyDir {
+		t.Fatalf("control[0].From = %v", c0.From)
+	}
+	if len(c0.To) != 1 || c0.To[0].Dir != lai.OutOnly {
+		t.Fatalf("control[0].To = %v", c0.To)
+	}
+	c1 := p.Controls[1]
+	if c1.Match.Dst != header.MustParsePrefix("1.2.0.0/16") || !c1.Match.Src.IsAny() {
+		t.Fatalf("control[1] match = %v", c1.Match)
+	}
+	if len(p.Allow) != 3 || p.Allow[0].Dir != lai.InOnly {
+		t.Fatalf("allow = %v", p.Allow)
+	}
+}
+
+func TestParseAndSeparators(t *testing.T) {
+	// The Figure 2 grammar uses "and" between list elements.
+	p, err := lai.Parse("scope A:1 and A:2 and B:1\ncheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scope) != 3 {
+		t.Fatalf("scope = %v", p.Scope)
+	}
+}
+
+func TestParsePrimedNames(t *testing.T) {
+	// "modify A:1 to A:1'" — the paper's primed-echo form.
+	p, err := lai.Parse("scope A:*\nmodify A:1, D:2 to A:1', D:2'\ncheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Modifies[0].Kind != lai.FromUpdated || len(p.Modifies[0].Targets) != 2 {
+		t.Fatalf("modify = %+v", p.Modifies[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"no command":        "scope A:*",
+		"bad keyword":       "frobnicate A:*\ncheck",
+		"bad pattern":       "scope AB\ncheck",
+		"bad control arrow": "scope A:*\ncontrol A:1 B:1 isolate\ncheck",
+		"bad control mode":  "scope A:*\ncontrol A:1 -> B:1 sever\ncheck",
+		"unterminated acl":  "scope A:*\nacl x { permit all\ncheck",
+		"bad acl rule":      "scope A:*\nacl x { permit quux }\ncheck",
+		"empty iface":       "scope A:\ncheck",
+	}
+	for name, src := range bad {
+		if _, err := lai.Parse(src); err == nil {
+			t.Errorf("%s: Parse should fail for %q", name, src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	p := lai.MustParse(runningExample)
+	formatted := p.Format()
+	p2, err := lai.Parse(formatted + "\nacl A1new { deny dst 1.0.0.0/8, deny dst 2.0.0.0/8, deny dst 6.0.0.0/8, permit all }\nacl A3new { deny dst 7.0.0.0/8, permit all }")
+	if err != nil {
+		t.Fatalf("re-parse of %q failed: %v", formatted, err)
+	}
+	if len(p2.Modifies) != len(p.Modifies) || len(p2.Commands) != len(p.Commands) {
+		t.Fatalf("round trip lost statements:\n%s", formatted)
+	}
+	if p.LineCount() < 6 {
+		t.Errorf("LineCount = %d, suspiciously small", p.LineCount())
+	}
+}
+
+func TestResolveRunningExample(t *testing.T) {
+	net := papernet.Build()
+	p := lai.MustParse(runningExample)
+	r, err := lai.Resolve(p, net, lai.ResolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scope covers all four devices with entry at A:1.
+	for _, d := range []string{"A", "B", "C", "D"} {
+		if !r.Scope.ContainsDevice(d) {
+			t.Errorf("scope should contain %s", d)
+		}
+	}
+	if !r.Scope.AllowsEntry("A:1") || r.Scope.AllowsEntry("C:3") {
+		t.Error("entry restriction not applied")
+	}
+	// After snapshot: D2 and C1 permit all; A1 has the 3-rule ACL; the
+	// original network is untouched.
+	d2, _ := r.After.LookupInterface("D:2")
+	if !d2.ACL(topo.In).IsPermitAll() {
+		t.Errorf("after D:2 = %v", d2.ACL(topo.In))
+	}
+	a1, _ := r.After.LookupInterface("A:1")
+	if got := a1.ACL(topo.In); got == nil || len(got.Rules) != 3 {
+		t.Errorf("after A:1 = %v", got)
+	}
+	a3, _ := r.After.LookupInterface("A:3")
+	if got := a3.ACL(topo.Out); got == nil || len(got.Rules) != 1 {
+		t.Errorf("after A:3 out = %v", got)
+	}
+	origD2, _ := net.LookupInterface("D:2")
+	if origD2.ACL(topo.In).IsPermitAll() {
+		t.Error("resolve mutated the original network")
+	}
+	if len(r.Modified) != 4 {
+		t.Errorf("modified = %v", r.Modified)
+	}
+	// Allow expands A:* and B:* — A has 4 interfaces, B has 2; each
+	// contributes at least one binding.
+	if len(r.Allow) < 6 {
+		t.Errorf("allow bindings = %d", len(r.Allow))
+	}
+}
+
+func TestResolveFromUpdatedSnapshot(t *testing.T) {
+	net := papernet.Build()
+	updated := net.Clone()
+	ui, _ := updated.LookupInterface("A:1")
+	ui.SetACL(topo.In, acl.MustParse("deny dst 1.0.0.0/8, permit all"))
+
+	p := lai.MustParse("scope A:*, B:*, C:*, D:*\nmodify A:1\ncheck")
+	r, err := lai.Resolve(p, net, lai.ResolveOptions{Updated: updated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := r.After.LookupInterface("A:1")
+	if got := a1.ACL(topo.In); got == nil || len(got.Rules) != 1 || got.Rules[0].Match.Dst != header.MustParsePrefix("1.0.0.0/8") {
+		t.Errorf("after A:1 = %v", got)
+	}
+	// Without the snapshot the same program must fail.
+	if _, err := lai.Resolve(p, net, lai.ResolveOptions{}); err == nil {
+		t.Error("FromUpdated without snapshot should fail")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	net := papernet.Build()
+	cases := []string{
+		"scope Z:*\ncheck",
+		"scope A:*\nallow Z:*\ncheck",
+		"scope A:*\nmodify A:9 to permit-all\ncheck",
+		"scope A:*\nmodify A:1 to acl nosuch\ncheck",
+		"scope A:*\ncontrol Z:1 -> A:1 isolate to 1.0.0.0/8\ngenerate",
+	}
+	for _, src := range cases {
+		p, err := lai.Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q) unexpectedly failed: %v", src, err)
+			continue
+		}
+		if _, err := lai.Resolve(p, net, lai.ResolveOptions{}); err == nil {
+			t.Errorf("Resolve(%q) should fail", src)
+		}
+	}
+}
+
+func TestResolveControls(t *testing.T) {
+	net := papernet.Build()
+	src := `
+scope A:*, B:*, C:*, D:*
+entry A:1
+allow A:*
+control A:1 -> D:3 isolate to 6.0.0.0/8
+control A:1 -> C:3 maintain to 7.0.0.0/8
+generate
+`
+	r, err := lai.Resolve(lai.MustParse(src), net, lai.ResolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Controls) != 2 {
+		t.Fatalf("controls = %v", r.Controls)
+	}
+	if r.Controls[0].Mode != lai.Isolate || r.Controls[0].To[0].ID() != "D:3" {
+		t.Fatalf("control[0] = %+v", r.Controls[0])
+	}
+	if r.Controls[1].Mode != lai.Maintain {
+		t.Fatalf("control[1] = %+v", r.Controls[1])
+	}
+}
+
+func TestExpandBindingsDirectionDefaults(t *testing.T) {
+	net := papernet.Build()
+	// D:2 carries an ingress ACL, so the undirected glob should bind in.
+	p := lai.MustParse("scope D:*\nallow D:*\ncheck")
+	r, err := lai.Resolve(p, net, lai.ResolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, b := range r.Allow {
+		ids = append(ids, b.ID())
+	}
+	joined := strings.Join(ids, ",")
+	if !strings.Contains(joined, "D:2:in") {
+		t.Errorf("allow should include D:2:in, got %v", ids)
+	}
+	for _, id := range ids {
+		if strings.HasSuffix(id, ":out") {
+			t.Errorf("no egress ACLs exist on D, got %v", ids)
+		}
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	if lai.Check.String() != "check" || lai.Fix.String() != "fix" || lai.Generate.String() != "generate" {
+		t.Error("Command.String wrong")
+	}
+	if lai.Isolate.String() != "isolate" || lai.Open.String() != "open" || lai.Maintain.String() != "maintain" {
+		t.Error("ControlMode.String wrong")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := lai.IfPattern{Device: "R1", Iface: "*", Dir: lai.InOnly}
+	if p.String() != "R1:*-in" {
+		t.Errorf("String = %q", p.String())
+	}
+}

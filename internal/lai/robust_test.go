@@ -1,0 +1,74 @@
+package lai_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jinjing/internal/lai"
+)
+
+// TestParseNeverPanics: the parser must return errors, not panic, on
+// arbitrary garbage, truncations, and mutations of valid programs.
+func TestParseNeverPanics(t *testing.T) {
+	valid := `
+scope A:*, B:*
+entry A:1
+allow A:*-in
+acl x { deny dst 1.0.0.0/8, permit all }
+modify A:1 to acl x
+control A:1 -> B:2 isolate from 10.0.0.0/8
+check
+fix
+generate
+`
+	r := rand.New(rand.NewSource(99))
+	alphabet := []byte("abcZ019:*-,{}()#>\n\t '/.")
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("parser panicked: %v", p)
+		}
+	}()
+	// Truncations.
+	for i := 0; i <= len(valid); i++ {
+		lai.Parse(valid[:i])
+	}
+	// Random mutations.
+	for iter := 0; iter < 2000; iter++ {
+		b := []byte(valid)
+		for k := 0; k < 1+r.Intn(5); k++ {
+			b[r.Intn(len(b))] = alphabet[r.Intn(len(alphabet))]
+		}
+		lai.Parse(string(b))
+	}
+	// Pure noise.
+	for iter := 0; iter < 2000; iter++ {
+		n := r.Intn(80)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		lai.Parse(string(b))
+	}
+}
+
+// TestParseAcceptsCRLFAndComments: real-world file forms.
+func TestParseAcceptsCRLFAndComments(t *testing.T) {
+	src := "# header comment\r\nscope A:* # trailing comment\r\n\r\ncheck\r\n"
+	p, err := lai.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scope) != 1 || len(p.Commands) != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+// TestLineCountMatchesFormat: LineCount equals the printed line count.
+func TestLineCountMatchesFormat(t *testing.T) {
+	p := lai.MustParse("scope A:1\nallow A:1\nmodify A:1 to permit-all\ncheck")
+	formatted := strings.TrimSpace(p.Format())
+	if got := p.LineCount(); got != strings.Count(formatted, "\n")+1 {
+		t.Fatalf("LineCount=%d, formatted lines=%d", got, strings.Count(formatted, "\n")+1)
+	}
+}

@@ -1,0 +1,64 @@
+package lai_test
+
+import (
+	"testing"
+
+	"jinjing/internal/lai"
+)
+
+// TestTable1TaskPrimitives verifies that each of the paper's Table 1
+// update tasks is expressible with exactly the primitives the table
+// lists.
+func TestTable1TaskPrimitives(t *testing.T) {
+	cases := []struct {
+		task string
+		src  string
+		want []lai.Command
+	}{
+		{
+			task: "ACL update plan checking and fixing (scope, allow, modify, check, fix)",
+			src: `
+scope A:*, B:*
+allow A:*
+acl x { deny dst 1.0.0.0/8, permit all }
+modify A:1 to acl x
+check
+fix`,
+			want: []lai.Command{lai.Check, lai.Fix},
+		},
+		{
+			task: "ACL migration (scope, allow, modify, generate)",
+			src: `
+scope A:*, B:*
+allow B:*
+modify A:1 to permit-all
+generate`,
+			want: []lai.Command{lai.Generate},
+		},
+		{
+			task: "Opening/isolating traffic for service (scope, allow, control, generate)",
+			src: `
+scope A:*, B:*
+allow A:*
+control A:1 -> B:2 isolate to 1.2.0.0/16
+generate`,
+			want: []lai.Command{lai.Generate},
+		},
+	}
+	for _, c := range cases {
+		p, err := lai.Parse(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.task, err)
+			continue
+		}
+		if len(p.Commands) != len(c.want) {
+			t.Errorf("%s: commands = %v", c.task, p.Commands)
+			continue
+		}
+		for i := range c.want {
+			if p.Commands[i] != c.want[i] {
+				t.Errorf("%s: command %d = %v, want %v", c.task, i, p.Commands[i], c.want[i])
+			}
+		}
+	}
+}

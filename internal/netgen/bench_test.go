@@ -1,0 +1,27 @@
+package netgen_test
+
+import (
+	"testing"
+
+	"jinjing/internal/netgen"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	for _, size := range []netgen.Size{netgen.Small, netgen.Medium, netgen.Large} {
+		b.Run(size.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				netgen.Build(netgen.DefaultConfig(size, int64(i)))
+			}
+		})
+	}
+}
+
+func BenchmarkPerturb(b *testing.B) {
+	w := netgen.Build(netgen.DefaultConfig(netgen.Medium, 1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Perturb(int64(i), 3)
+	}
+}

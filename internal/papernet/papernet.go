@@ -1,0 +1,100 @@
+// Package papernet constructs the running-example network of the paper's
+// Figure 1: four routers A–D, ACLs on A1, C1 and D2, and forwarding that
+// yields the five forwarding equivalence classes and four ACL equivalence
+// classes worked through in §3–§5. Tests, examples, and the quickstart
+// binary all build on it.
+package papernet
+
+import (
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/topo"
+)
+
+// Traffic returns the destination prefix of traffic class i (1–7):
+// i.0.0.0/8.
+func Traffic(i int) header.Prefix {
+	return header.Prefix{Addr: uint32(i) << 24, Len: 8}
+}
+
+// Build constructs the Figure 1 network.
+//
+// Topology (directed links; traffic flows from A1 towards C3/D3):
+//
+//	A1 (border in)            C3 (border out)   D3 (border out)
+//	A2 → B1 ; B2 → C2
+//	A3 → C1
+//	A4 → D1
+//	C4 → D2
+//
+// ACLs (all ingress):
+//
+//	A1: deny dst 6.0.0.0/8, permit all
+//	C1: deny dst 7.0.0.0/8, permit all
+//	D2: deny dst 1.0.0.0/8, deny dst 2.0.0.0/8, permit all
+//
+// Forwarding, chosen to reproduce the paper's FECs ([1]={1}, [2]={2,3},
+// [4]={4}, [5]={5,6}, [7]={7}) and the §5.3 dataplane facts: traffic 2
+// "can be forwarded from A2 to B1, but traffic 1 cannot" (so the DECs of
+// [1]AEC are {1}→{p0} and {2}→{p0,p2}), and §4.1's "there are two paths
+// p0 and p2 for [2]FEC":
+//
+//	A: 1/8→A4  2/8,3/8→{A4,A2}  4/8→{A4,A3}  5/8,6/8→A2  7/8→A3
+//	B: 1–7/8→B2
+//	C: 1–6/8→C4  7/8→C3
+//	D: 1–7/8→D3
+func Build() *topo.Network {
+	n := topo.NewNetwork()
+	a, b, c, d := n.Device("A"), n.Device("B"), n.Device("C"), n.Device("D")
+
+	a1, a2, a3, a4 := a.Interface("1"), a.Interface("2"), a.Interface("3"), a.Interface("4")
+	b1, b2 := b.Interface("1"), b.Interface("2")
+	c1, c2, c3, c4 := c.Interface("1"), c.Interface("2"), c.Interface("3"), c.Interface("4")
+	d1, d2, d3 := d.Interface("1"), d.Interface("2"), d.Interface("3")
+
+	n.AddLink(a2, b1)
+	n.AddLink(b2, c2)
+	n.AddLink(a3, c1)
+	n.AddLink(a4, d1)
+	n.AddLink(c4, d2)
+
+	a1.SetACL(topo.In, acl.MustParse("deny dst 6.0.0.0/8, permit all"))
+	c1.SetACL(topo.In, acl.MustParse("deny dst 7.0.0.0/8, permit all"))
+	d2.SetACL(topo.In, acl.MustParse("deny dst 1.0.0.0/8, deny dst 2.0.0.0/8, permit all"))
+
+	// Device A.
+	a.AddRoute(Traffic(1), a4)
+	a.AddRoute(Traffic(2), a4)
+	a.AddRoute(Traffic(2), a2)
+	a.AddRoute(Traffic(3), a4)
+	a.AddRoute(Traffic(3), a2)
+	a.AddRoute(Traffic(4), a4)
+	a.AddRoute(Traffic(4), a3)
+	a.AddRoute(Traffic(5), a2)
+	a.AddRoute(Traffic(6), a2)
+	a.AddRoute(Traffic(7), a3)
+
+	// Device B.
+	for i := 1; i <= 7; i++ {
+		b.AddRoute(Traffic(i), b2)
+	}
+
+	// Device C.
+	for i := 1; i <= 6; i++ {
+		c.AddRoute(Traffic(i), c4)
+	}
+	c.AddRoute(Traffic(7), c3)
+
+	// Device D.
+	for i := 1; i <= 7; i++ {
+		d.AddRoute(Traffic(i), d3)
+	}
+
+	return n
+}
+
+// Scope returns the paper's management scope: all four devices, with
+// traffic entering at A1 (the dashed circle of Figure 1).
+func Scope() *topo.Scope {
+	return topo.NewScope("A", "B", "C", "D").WithEntries("A:1")
+}

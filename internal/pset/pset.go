@@ -1,0 +1,223 @@
+// Package pset implements an exact packet-set algebra over the 5-tuple
+// header space: sets are finite unions of Match cubes (per-field
+// prefix/range constraints), closed under intersection, subtraction, and
+// complement. It is an independent decision procedure for the questions
+// the SMT stack answers (ACL equivalence, region emptiness), used to
+// cross-validate the solver pipeline in tests — two implementations with
+// unrelated failure modes deciding the same queries.
+package pset
+
+import (
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+)
+
+// Set is a union of Match cubes. Cubes may overlap; the denoted set is
+// their union. The zero value is the empty set.
+type Set struct {
+	cubes []header.Match
+}
+
+// Empty returns the empty set.
+func Empty() Set { return Set{} }
+
+// Universe returns the set of all packets.
+func Universe() Set { return FromMatch(header.MatchAll) }
+
+// FromMatch returns the set of packets matching m.
+func FromMatch(m header.Match) Set {
+	return Set{cubes: []header.Match{m}}
+}
+
+// IsEmpty reports whether the set contains no packets. Cubes are
+// non-empty by construction, so this is a length check.
+func (s Set) IsEmpty() bool { return len(s.cubes) == 0 }
+
+// Cubes returns the number of cubes (a size measure for tests).
+func (s Set) Cubes() int { return len(s.cubes) }
+
+// Contains reports whether packet p is in the set.
+func (s Set) Contains(p header.Packet) bool {
+	for _, c := range s.cubes {
+		if c.Matches(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	out := make([]header.Match, 0, len(s.cubes)+len(t.cubes))
+	out = append(out, s.cubes...)
+	out = append(out, t.cubes...)
+	return Set{cubes: out}
+}
+
+// Intersect returns s ∩ t (pairwise cube intersection).
+func (s Set) Intersect(t Set) Set {
+	var out []header.Match
+	for _, a := range s.cubes {
+		for _, b := range t.cubes {
+			if m, ok := a.Intersect(b); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return Set{cubes: out}
+}
+
+// SubtractMatch returns s ∖ m.
+func (s Set) SubtractMatch(m header.Match) Set {
+	var out []header.Match
+	for _, c := range s.cubes {
+		out = append(out, subtractCube(c, m)...)
+	}
+	return Set{cubes: out}
+}
+
+// Subtract returns s ∖ t.
+func (s Set) Subtract(t Set) Set {
+	out := s
+	for _, m := range t.cubes {
+		out = out.SubtractMatch(m)
+		if out.IsEmpty() {
+			break
+		}
+	}
+	return out
+}
+
+// Complement returns the complement of s.
+func (s Set) Complement() Set { return Universe().Subtract(s) }
+
+// Equal reports whether s and t denote the same packet set.
+func (s Set) Equal(t Set) bool {
+	return s.Subtract(t).IsEmpty() && t.Subtract(s).IsEmpty()
+}
+
+// SamplePacket returns one packet in the set; ok is false when empty.
+func (s Set) SamplePacket() (header.Packet, bool) {
+	if s.IsEmpty() {
+		return header.Packet{}, false
+	}
+	return s.cubes[0].SamplePacket(), true
+}
+
+// subtractCube computes c ∖ m as a union of disjoint cubes using the
+// standard orthogonal decomposition: peel off, field by field, the part
+// of c outside m's constraint on that field, then narrow c to m on that
+// field and continue.
+func subtractCube(c, m header.Match) []header.Match {
+	inter, ok := c.Intersect(m)
+	if !ok {
+		return []header.Match{c} // disjoint: nothing removed
+	}
+	var out []header.Match
+	cur := c
+
+	// Source prefix.
+	for _, piece := range prefixMinus(cur.Src, inter.Src) {
+		cc := cur
+		cc.Src = piece
+		out = append(out, cc)
+	}
+	cur.Src = inter.Src
+	// Destination prefix.
+	for _, piece := range prefixMinus(cur.Dst, inter.Dst) {
+		cc := cur
+		cc.Dst = piece
+		out = append(out, cc)
+	}
+	cur.Dst = inter.Dst
+	// Source port.
+	for _, piece := range rangeMinus(cur.SrcPort, inter.SrcPort) {
+		cc := cur
+		cc.SrcPort = piece
+		out = append(out, cc)
+	}
+	cur.SrcPort = inter.SrcPort
+	// Destination port.
+	for _, piece := range rangeMinus(cur.DstPort, inter.DstPort) {
+		cc := cur
+		cc.DstPort = piece
+		out = append(out, cc)
+	}
+	cur.DstPort = inter.DstPort
+	// Protocol.
+	for _, piece := range protoMinus(cur.Proto, inter.Proto) {
+		cc := cur
+		cc.Proto = piece
+		out = append(out, cc)
+	}
+	// What remains of cur equals inter, which is inside m: dropped.
+	return out
+}
+
+// prefixMinus returns p ∖ q as disjoint prefixes, where q ⊆ p: the
+// sibling prefixes along the trie path from p down to q.
+func prefixMinus(p, q header.Prefix) []header.Prefix {
+	var out []header.Prefix
+	cur := p
+	for cur.Len < q.Len {
+		left, right := cur.Halves()
+		if left.Matches(q.Addr) {
+			out = append(out, right)
+			cur = left
+		} else {
+			out = append(out, left)
+			cur = right
+		}
+	}
+	return out
+}
+
+// rangeMinus returns r ∖ q as at most two ranges, where q ⊆ r.
+func rangeMinus(r, q header.PortRange) []header.PortRange {
+	var out []header.PortRange
+	if r.Lo < q.Lo {
+		out = append(out, header.PortRange{Lo: r.Lo, Hi: q.Lo - 1})
+	}
+	if q.Hi < r.Hi {
+		out = append(out, header.PortRange{Lo: q.Hi + 1, Hi: r.Hi})
+	}
+	return out
+}
+
+// protoMinus returns r ∖ q as at most two ranges, where q ⊆ r.
+func protoMinus(r, q header.ProtoMatch) []header.ProtoMatch {
+	var out []header.ProtoMatch
+	if r.Lo < q.Lo {
+		out = append(out, header.ProtoMatch{Lo: r.Lo, Hi: q.Lo - 1})
+	}
+	if q.Hi < r.Hi {
+		out = append(out, header.ProtoMatch{Lo: q.Hi + 1, Hi: r.Hi})
+	}
+	return out
+}
+
+// PermittedSet computes the exact set of packets an ACL permits, by
+// folding its rules in priority order: each rule claims the part of its
+// match not already claimed above.
+func PermittedSet(a *acl.ACL) Set {
+	permitted := Empty()
+	claimed := Empty()
+	for _, r := range a.Rules {
+		region := FromMatch(r.Match).Subtract(claimed)
+		if r.Action == acl.Permit {
+			permitted = permitted.Union(region)
+		}
+		claimed = claimed.Union(FromMatch(r.Match))
+	}
+	if a.Default == acl.Permit {
+		permitted = permitted.Union(Universe().Subtract(claimed))
+	}
+	return permitted
+}
+
+// EquivalentACLs decides ACL equivalence exactly via the set algebra —
+// the independent cross-check for acl.Equivalent (which goes through
+// Tseitin + CDCL).
+func EquivalentACLs(a, b *acl.ACL) bool {
+	return PermittedSet(a).Equal(PermittedSet(b))
+}

@@ -1,0 +1,193 @@
+package pset_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/pset"
+)
+
+func pfx(s string) header.Prefix { return header.MustParsePrefix(s) }
+
+func TestBasics(t *testing.T) {
+	if !pset.Empty().IsEmpty() {
+		t.Fatal("Empty should be empty")
+	}
+	u := pset.Universe()
+	if u.IsEmpty() || !u.Contains(header.Packet{}) {
+		t.Fatal("Universe should contain everything")
+	}
+	if !u.Complement().IsEmpty() {
+		t.Fatal("complement of universe is empty")
+	}
+	if !pset.Empty().Complement().Equal(u) {
+		t.Fatal("complement of empty is universe")
+	}
+}
+
+func TestSubtractPrefix(t *testing.T) {
+	all := pset.Universe()
+	half := pset.FromMatch(header.DstMatch(pfx("0.0.0.0/1")))
+	rest := all.Subtract(half)
+	if rest.IsEmpty() {
+		t.Fatal("subtracting half leaves half")
+	}
+	if rest.Contains(header.Packet{DstIP: 0x01000000}) {
+		t.Fatal("lower half should be gone")
+	}
+	if !rest.Contains(header.Packet{DstIP: 0x80000000}) {
+		t.Fatal("upper half should remain")
+	}
+	if !rest.Union(half).Equal(all) {
+		t.Fatal("half ∪ rest = all")
+	}
+	if !rest.Intersect(half).IsEmpty() {
+		t.Fatal("halves must be disjoint")
+	}
+}
+
+func TestSubtractPorts(t *testing.T) {
+	m := header.MatchAll
+	m.DstPort = header.PortRange{Lo: 100, Hi: 200}
+	s := pset.Universe().Subtract(pset.FromMatch(m))
+	if s.Contains(header.Packet{DstPort: 150}) {
+		t.Fatal("port 150 should be removed")
+	}
+	if !s.Contains(header.Packet{DstPort: 99}) || !s.Contains(header.Packet{DstPort: 201}) {
+		t.Fatal("boundary ports should remain")
+	}
+}
+
+func TestDeMorganOnSets(t *testing.T) {
+	a := pset.FromMatch(header.DstMatch(pfx("10.0.0.0/8")))
+	b := pset.FromMatch(header.SrcMatch(pfx("172.16.0.0/12")))
+	lhs := a.Intersect(b).Complement()
+	rhs := a.Complement().Union(b.Complement())
+	if !lhs.Equal(rhs) {
+		t.Fatal("De Morgan fails on sets")
+	}
+}
+
+func TestPermittedSetFirstMatch(t *testing.T) {
+	a := acl.MustParse("deny dst 1.0.0.0/8, permit dst 1.2.0.0/16, permit all")
+	s := pset.PermittedSet(a)
+	// 1.2.0.0/16 is shadowed by the earlier deny.
+	if s.Contains(header.Packet{DstIP: 0x01020001}) {
+		t.Fatal("shadowed permit must not contribute")
+	}
+	if !s.Contains(header.Packet{DstIP: 0x02000001}) {
+		t.Fatal("default permit missing")
+	}
+	if s.Contains(header.Packet{DstIP: 0x01000001}) {
+		t.Fatal("denied region leaked")
+	}
+}
+
+func TestEquivalentACLs(t *testing.T) {
+	a := acl.MustParse("deny dst 1.0.0.0/8, permit all")
+	b := acl.MustParse("deny dst 1.0.0.0/9, deny dst 1.128.0.0/9, permit all")
+	if !pset.EquivalentACLs(a, b) {
+		t.Fatal("split denies should be equivalent")
+	}
+	c := acl.MustParse("deny dst 1.0.0.0/9, permit all")
+	if pset.EquivalentACLs(a, c) {
+		t.Fatal("half deny is not equivalent")
+	}
+}
+
+// randomACL mirrors the generator used in package acl's tests.
+func randomACL(r *rand.Rand, n int) *acl.ACL {
+	a := &acl.ACL{Default: acl.Action(r.Intn(2) == 0)}
+	for i := 0; i < n; i++ {
+		m := header.MatchAll
+		base := uint32(1+r.Intn(6)) << 24
+		ln := []int{6, 8, 9, 16}[r.Intn(4)]
+		m.Dst = header.Prefix{Addr: base, Len: ln}.Canonical()
+		if r.Intn(4) == 0 {
+			m.Src = header.Prefix{Addr: uint32(10+r.Intn(2)) << 24, Len: 8}.Canonical()
+		}
+		if r.Intn(5) == 0 {
+			m.DstPort = header.PortRange{Lo: 80, Hi: uint16(80 + r.Intn(1000))}
+		}
+		if r.Intn(6) == 0 {
+			m.Proto = header.Proto(uint8([]int{1, 6, 17}[r.Intn(3)]))
+		}
+		a.Rules = append(a.Rules, acl.Rule{Action: acl.Action(r.Intn(2) == 0), Match: m})
+	}
+	return a
+}
+
+// TestCrossValidateSMTEquivalence is the headline property: the packet-set
+// algebra and the Tseitin+CDCL pipeline must agree on ACL equivalence for
+// random ACL pairs — two unrelated decision procedures, one answer.
+func TestCrossValidateSMTEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(271828))
+	agreeEq, agreeNeq := 0, 0
+	for iter := 0; iter < 120; iter++ {
+		a := randomACL(r, 1+r.Intn(7))
+		var b *acl.ACL
+		if r.Intn(2) == 0 {
+			// Likely-equivalent variant: simplification preserves the model.
+			b = acl.SimplifyFast(a)
+		} else {
+			b = randomACL(r, 1+r.Intn(7))
+		}
+		smtSays := acl.Equivalent(a, b)
+		setSays := pset.EquivalentACLs(a, b)
+		if smtSays != setSays {
+			t.Fatalf("iter %d: SMT=%v pset=%v\na=%v\nb=%v", iter, smtSays, setSays, a, b)
+		}
+		if smtSays {
+			agreeEq++
+		} else {
+			agreeNeq++
+		}
+	}
+	if agreeEq == 0 || agreeNeq == 0 {
+		t.Fatalf("degenerate sampling: eq=%d neq=%d", agreeEq, agreeNeq)
+	}
+}
+
+// TestCrossValidateRegionEmptiness: for random matches, the SMT
+// satisfiability of a conjunction agrees with set-intersection emptiness.
+func TestCrossValidateRegionEmptiness(t *testing.T) {
+	r := rand.New(rand.NewSource(314159))
+	for iter := 0; iter < 300; iter++ {
+		a := randomACL(r, 1).Rules[0].Match
+		b := randomACL(r, 1).Rules[0].Match
+		setEmpty := pset.FromMatch(a).Intersect(pset.FromMatch(b)).IsEmpty()
+		syntactic := !a.Overlaps(b)
+		if setEmpty != syntactic {
+			t.Fatalf("iter %d: set=%v syntactic=%v\na=%v\nb=%v", iter, setEmpty, syntactic, a, b)
+		}
+	}
+}
+
+func TestSetAlgebraInvariants(t *testing.T) {
+	// s ∖ t disjoint from t; (s∖t) ∪ (s∩t) = s.
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		s := pset.PermittedSet(randomACL(r, 1+r.Intn(4)))
+		tt := pset.PermittedSet(randomACL(r, 1+r.Intn(4)))
+		diff := s.Subtract(tt)
+		if !diff.Intersect(tt).IsEmpty() {
+			t.Fatal("s∖t must be disjoint from t")
+		}
+		if !diff.Union(s.Intersect(tt)).Equal(s) {
+			t.Fatal("(s∖t) ∪ (s∩t) must equal s")
+		}
+	}
+}
+
+func TestSamplePacket(t *testing.T) {
+	s := pset.FromMatch(header.DstMatch(pfx("10.0.0.0/8")))
+	p, ok := s.SamplePacket()
+	if !ok || !s.Contains(p) {
+		t.Fatal("sample must be a member")
+	}
+	if _, ok := pset.Empty().SamplePacket(); ok {
+		t.Fatal("empty set has no sample")
+	}
+}

@@ -1,0 +1,90 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadDIMACS reads a problem in DIMACS CNF format into a fresh solver.
+// It returns the solver and the variable count. Standard liberties are
+// taken: the "p cnf" header is validated when present, comments ("c")
+// are skipped, and clauses are terminated by 0.
+func LoadDIMACS(r io.Reader) (*Solver, int, error) {
+	s := New()
+	numVars := 0
+	ensure := func(v int) Var {
+		for numVars < v {
+			s.NewVar()
+			numVars++
+		}
+		return Var(v - 1)
+	}
+	var clause []Lit
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, 0, fmt.Errorf("sat: malformed DIMACS header %q", line)
+			}
+			declared, err := strconv.Atoi(fields[2])
+			if err != nil || declared < 0 {
+				return nil, 0, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			ensure(declared)
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, 0, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if n == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			ensure(v)
+			if n > 0 {
+				clause = append(clause, Pos(Var(v-1)))
+			} else {
+				clause = append(clause, Neg(Var(v-1)))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...)
+	}
+	return s, numVars, nil
+}
+
+// WriteDIMACSModel writes the last model in the SAT-competition "v" line
+// format. It panics if Solve has not returned true.
+func (s *Solver) WriteDIMACSModel(w io.Writer, numVars int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "v")
+	for v := 0; v < numVars; v++ {
+		lit := v + 1
+		if !s.ValueInModel(Var(v)) {
+			lit = -lit
+		}
+		fmt.Fprintf(bw, " %d", lit)
+	}
+	fmt.Fprintln(bw, " 0")
+	return bw.Flush()
+}

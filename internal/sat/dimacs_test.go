@@ -1,0 +1,75 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadDIMACSSat(t *testing.T) {
+	src := `c a satisfiable instance
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+`
+	s, nv, err := LoadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 3 {
+		t.Fatalf("numVars = %d", nv)
+	}
+	if !s.Solve() {
+		t.Fatal("instance is SAT")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteDIMACSModel(&buf, nv); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "v ") || !strings.HasSuffix(strings.TrimSpace(out), " 0") {
+		t.Fatalf("model line %q", out)
+	}
+}
+
+func TestLoadDIMACSUnsat(t *testing.T) {
+	src := `p cnf 1 2
+1 0
+-1 0
+`
+	s, _, err := LoadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() {
+		t.Fatal("instance is UNSAT")
+	}
+}
+
+func TestLoadDIMACSImplicitVarsAndTrailingClause(t *testing.T) {
+	// No header; final clause without trailing newline and without 0.
+	src := "1 -2 0\n2 3"
+	s, nv, err := LoadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv != 3 {
+		t.Fatalf("numVars = %d", nv)
+	}
+	if !s.Solve() {
+		t.Fatal("SAT expected")
+	}
+}
+
+func TestLoadDIMACSErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"bad header":  "p dnf 2 2\n1 0\n",
+		"bad count":   "p cnf x 2\n1 0\n",
+		"bad literal": "p cnf 2 1\n1 fish 0\n",
+	} {
+		if _, _, err := LoadDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package sat
+
+// varHeap is a binary max-heap over variables ordered by VSIDS activity,
+// with position tracking so that activity bumps can sift a variable up in
+// O(log n) (MiniSat's order heap).
+type varHeap struct {
+	act     *[]float64 // shared activity slice (grows with NewVar)
+	heap    []Var
+	indices []int32 // position of each var in heap, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) len() int { return len(h.heap) }
+
+func (h *varHeap) inHeap(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return (*h.act)[a] > (*h.act)[b]
+}
+
+func (h *varHeap) push(v Var) {
+	for int(v) >= len(h.indices) {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.indices[v] = int32(len(h.heap))
+	h.heap = append(h.heap, v)
+	h.siftUp(int(h.indices[v]))
+}
+
+func (h *varHeap) pop() Var {
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap[0] = last
+	h.indices[last] = 0
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[top] = -1
+	if len(h.heap) > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// decrease restores heap order after v's activity increased (so its key
+// "decreased" in min-heap terms; here it sifts up in the max-heap).
+func (h *varHeap) decrease(v Var) {
+	h.siftUp(int(h.indices[v]))
+}
+
+func (h *varHeap) siftUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.indices[h.heap[i]] = int32(i)
+		i = parent
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}
+
+func (h *varHeap) siftDown(i int) {
+	v := h.heap[i]
+	for {
+		left := 2*i + 1
+		if left >= len(h.heap) {
+			break
+		}
+		best := left
+		if right := left + 1; right < len(h.heap) && h.less(h.heap[right], h.heap[left]) {
+			best = right
+		}
+		if !h.less(h.heap[best], v) {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.indices[h.heap[i]] = int32(i)
+		i = best
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}

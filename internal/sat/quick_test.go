@@ -1,0 +1,146 @@
+package sat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickModelSatisfiesClauses: for arbitrary random instances, if the
+// solver reports SAT its model satisfies every clause (testing/quick
+// drives the instance generator through its reflection-based fuzzing).
+func TestQuickModelSatisfiesClauses(t *testing.T) {
+	f := func(seed int64, nv uint8, nc uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		numVars := int(nv%20) + 1
+		numClauses := int(nc%60) + 1
+		s := New()
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		clauses := make([][]Lit, 0, numClauses)
+		for i := 0; i < numClauses; i++ {
+			width := 1 + r.Intn(4)
+			c := make([]Lit, width)
+			for j := range c {
+				v := Var(r.Intn(numVars))
+				if r.Intn(2) == 0 {
+					c[j] = Pos(v)
+				} else {
+					c[j] = Neg(v)
+				}
+			}
+			clauses = append(clauses, c)
+			s.AddClause(c...)
+		}
+		if !s.Solve() {
+			return true // UNSAT verdicts are cross-checked elsewhere
+		}
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				if s.ValueInModel(l.Var()) != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSolveIdempotent: solving twice without changes gives the same
+// verdict, and the solver stays usable after UNSAT-under-assumptions.
+func TestQuickSolveIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		numVars := 5 + r.Intn(10)
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < numVars*4; i++ {
+			c := make([]Lit, 3)
+			for j := range c {
+				v := Var(r.Intn(numVars))
+				if r.Intn(2) == 0 {
+					c[j] = Pos(v)
+				} else {
+					c[j] = Neg(v)
+				}
+			}
+			s.AddClause(c...)
+		}
+		first := s.Solve()
+		second := s.Solve()
+		if first != second {
+			return false
+		}
+		// Assumption solving must not corrupt state.
+		a := Pos(Var(r.Intn(numVars)))
+		s.Solve(a)
+		s.Solve(a.Not())
+		return s.Solve() == first
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLubySubadditive: the Luby sequence is always a power of two
+// and bounded by its index.
+func TestQuickLuby(t *testing.T) {
+	f := func(raw uint16) bool {
+		i := int64(raw%4096) + 1
+		v := luby(i)
+		if v <= 0 || v > i {
+			return false
+		}
+		return v&(v-1) == 0 // power of two
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeapOrdering: the activity order heap always pops variables in
+// non-increasing activity order.
+func TestQuickHeapOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		act := make([]float64, count)
+		h := newVarHeap(&act)
+		for v := 0; v < count; v++ {
+			act[v] = r.Float64()
+			h.push(Var(v))
+		}
+		// Random activity bumps with decrease notifications.
+		for i := 0; i < count; i++ {
+			v := Var(r.Intn(count))
+			act[v] += r.Float64()
+			if h.inHeap(v) {
+				h.decrease(v)
+			}
+		}
+		prev := math.Inf(1)
+		for h.len() > 0 {
+			v := h.pop()
+			if act[v] > prev {
+				return false
+			}
+			prev = act[v]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

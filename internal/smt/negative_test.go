@@ -1,0 +1,87 @@
+package smt
+
+import (
+	"testing"
+
+	"jinjing/internal/header"
+)
+
+func TestValuePanicsWithoutModel(t *testing.T) {
+	s := NewSolver()
+	x := s.B.Var()
+	s.Assert(x)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value before Solve must panic")
+		}
+	}()
+	s.Value(x)
+}
+
+func TestEvalInModelPanicsAfterUnsat(t *testing.T) {
+	s := NewSolver()
+	x := s.B.Var()
+	s.Assert(x)
+	s.Assert(x.Not())
+	if s.Solve() {
+		t.Fatal("should be UNSAT")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalInModel after UNSAT must panic")
+		}
+	}()
+	s.EvalInModel(x)
+}
+
+func TestNegatedValueLookup(t *testing.T) {
+	s := NewSolver()
+	x := s.B.Var()
+	s.Assert(x.Not())
+	if !s.Solve() {
+		t.Fatal("SAT expected")
+	}
+	if s.Value(x) || !s.Value(x.Not()) {
+		t.Fatal("negated lookup wrong")
+	}
+}
+
+func TestAtMostKDegenerate(t *testing.T) {
+	b := NewBuilder()
+	vars := []F{b.Var(), b.Var()}
+	if b.AtMostK(vars, 5) != True {
+		t.Error("k >= n should be trivially true")
+	}
+	if b.AtMostK(vars, -1) != False {
+		t.Error("negative k should be false")
+	}
+	zero := b.AtMostK(vars, 0)
+	if !b.Eval(zero, map[F]bool{}) {
+		t.Error("all-false satisfies AtMost-0")
+	}
+	if b.Eval(zero, map[F]bool{vars[0]: true}) {
+		t.Error("one true violates AtMost-0")
+	}
+}
+
+func TestMatchPredAllIsTrue(t *testing.T) {
+	b := NewBuilder()
+	pv := b.NewPacketVars()
+	if b.MatchPred(pv, header.MatchAll) != True {
+		t.Error("MatchAll should encode to the constant TRUE")
+	}
+}
+
+func TestSolverOnSharesHashConsing(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var(), b.Var()
+	before := b.NumNodes()
+	f1 := b.And(x, y)
+	f2 := b.And(y, x)
+	if f1 != f2 {
+		t.Fatal("commuted And must hash-cons to the same node")
+	}
+	if b.NumNodes() != before+1 {
+		t.Fatalf("expected exactly one new node, got %d", b.NumNodes()-before)
+	}
+}

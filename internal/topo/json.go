@@ -1,0 +1,120 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+)
+
+// The JSON schema for networks, used by the command-line tools. ACLs are
+// embedded in their textual syntax so files stay human-editable.
+
+type networkJSON struct {
+	Devices []deviceJSON `json:"devices"`
+	Links   []linkJSON   `json:"links"`
+}
+
+type deviceJSON struct {
+	Name       string          `json:"name"`
+	Interfaces []interfaceJSON `json:"interfaces"`
+	Routes     []routeJSON     `json:"routes,omitempty"`
+}
+
+type interfaceJSON struct {
+	Name   string `json:"name"`
+	InACL  string `json:"in_acl,omitempty"`
+	OutACL string `json:"out_acl,omitempty"`
+}
+
+type routeJSON struct {
+	Prefix string `json:"prefix"`
+	Out    string `json:"out"`
+}
+
+type linkJSON struct {
+	From string `json:"from"` // "device:interface" (egress side)
+	To   string `json:"to"`   // "device:interface" (ingress side)
+}
+
+// MarshalJSON serializes the network deterministically.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	var out networkJSON
+	for _, d := range n.SortedDevices() {
+		dj := deviceJSON{Name: d.Name}
+		for _, i := range d.SortedInterfaces() {
+			ij := interfaceJSON{Name: i.Name}
+			if a := i.ACL(In); a != nil {
+				ij.InACL = a.String()
+			}
+			if a := i.ACL(Out); a != nil {
+				ij.OutACL = a.String()
+			}
+			dj.Interfaces = append(dj.Interfaces, ij)
+		}
+		for _, e := range d.FIB {
+			dj.Routes = append(dj.Routes, routeJSON{Prefix: e.Prefix.String(), Out: e.Out.Name})
+		}
+		out.Devices = append(out.Devices, dj)
+	}
+	// Links sorted by (from, to) for determinism.
+	for _, d := range n.SortedDevices() {
+		for _, i := range d.SortedInterfaces() {
+			if peer := n.Peer(i); peer != nil {
+				out.Links = append(out.Links, linkJSON{From: i.ID(), To: peer.ID()})
+			}
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON loads a network from its JSON form.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var in networkJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if n.Devices == nil {
+		*n = *NewNetwork()
+	}
+	for _, dj := range in.Devices {
+		d := n.Device(dj.Name)
+		for _, ij := range dj.Interfaces {
+			iface := d.Interface(ij.Name)
+			if ij.InACL != "" {
+				a, err := acl.Parse(ij.InACL)
+				if err != nil {
+					return fmt.Errorf("topo: device %s interface %s in-ACL: %v", dj.Name, ij.Name, err)
+				}
+				iface.SetACL(In, a)
+			}
+			if ij.OutACL != "" {
+				a, err := acl.Parse(ij.OutACL)
+				if err != nil {
+					return fmt.Errorf("topo: device %s interface %s out-ACL: %v", dj.Name, ij.Name, err)
+				}
+				iface.SetACL(Out, a)
+			}
+		}
+		for _, rj := range dj.Routes {
+			p, err := header.ParsePrefix(rj.Prefix)
+			if err != nil {
+				return fmt.Errorf("topo: device %s route: %v", dj.Name, err)
+			}
+			d.AddRoute(p, d.Interface(rj.Out))
+		}
+	}
+	for _, lj := range in.Links {
+		from, err := n.LookupInterface(lj.From)
+		if err != nil {
+			return fmt.Errorf("topo: link: %v", err)
+		}
+		to, err := n.LookupInterface(lj.To)
+		if err != nil {
+			return fmt.Errorf("topo: link: %v", err)
+		}
+		n.AddLink(from, to)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package topo_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"jinjing/internal/papernet"
+	"jinjing/internal/topo"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := papernet.Build()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := topo.NewNetwork()
+	if err := json.Unmarshal(data, loaded); err != nil {
+		t.Fatal(err)
+	}
+	// Same devices, ACLs, paths, and FEC structure.
+	if len(loaded.Devices) != len(orig.Devices) {
+		t.Fatalf("device count %d != %d", len(loaded.Devices), len(orig.Devices))
+	}
+	for name, od := range orig.Devices {
+		ld, ok := loaded.Devices[name]
+		if !ok {
+			t.Fatalf("device %s missing", name)
+		}
+		if len(ld.FIB) != len(od.FIB) {
+			t.Errorf("device %s FIB %d != %d", name, len(ld.FIB), len(od.FIB))
+		}
+		for iname, oi := range od.Interfaces {
+			li := ld.Interfaces[iname]
+			if li == nil {
+				t.Fatalf("interface %s:%s missing", name, iname)
+			}
+			for _, dir := range []topo.Direction{topo.In, topo.Out} {
+				oa, la := oi.ACL(dir), li.ACL(dir)
+				if (oa == nil) != (la == nil) {
+					t.Errorf("%s:%s %v ACL presence differs", name, iname, dir)
+					continue
+				}
+				if oa != nil && oa.String() != la.String() {
+					t.Errorf("%s:%s %v ACL differs:\n%v\n%v", name, iname, dir, oa, la)
+				}
+			}
+		}
+	}
+	op := orig.AllPaths(papernet.Scope())
+	lp := loaded.AllPaths(papernet.Scope())
+	if len(op) != len(lp) {
+		t.Fatalf("path counts differ: %d vs %d", len(op), len(lp))
+	}
+	seen := map[string]bool{}
+	for _, p := range op {
+		seen[p.String()] = true
+	}
+	for _, p := range lp {
+		if !seen[p.String()] {
+			t.Errorf("loaded path %v not in original", p)
+		}
+	}
+	// Determinism: marshaling twice gives identical bytes.
+	data2, _ := json.Marshal(orig)
+	if string(data) != string(data2) {
+		t.Error("marshaling is not deterministic")
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"devices":[{"name":"A","interfaces":[{"name":"1","in_acl":"frobnicate"}]}]}`,
+		`{"devices":[{"name":"A","interfaces":[{"name":"1"}],"routes":[{"prefix":"999.0.0.0/8","out":"1"}]}]}`,
+		`{"links":[{"from":"X:1","to":"Y:1"}]}`,
+		`{not json`,
+	}
+	for _, s := range bad {
+		n := topo.NewNetwork()
+		if err := json.Unmarshal([]byte(s), n); err == nil {
+			t.Errorf("Unmarshal(%q) should fail", s)
+		}
+	}
+}

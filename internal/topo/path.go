@@ -1,0 +1,197 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+
+	"jinjing/internal/header"
+)
+
+// Hop is one device traversal on a path: the packet enters through In and
+// leaves through Out.
+type Hop struct {
+	In  *Interface
+	Out *Interface
+}
+
+// Path is a border-to-border route through the scope (§3.3): the first
+// hop's In and the last hop's Out are border interfaces.
+type Path struct {
+	Hops []Hop
+}
+
+// Interfaces flattens the path into the paper's interface-list notation,
+// e.g. ⟨A1, A4, D1, D3⟩: alternating ingress and egress interfaces.
+func (p Path) Interfaces() []*Interface {
+	out := make([]*Interface, 0, 2*len(p.Hops))
+	for _, h := range p.Hops {
+		out = append(out, h.In, h.Out)
+	}
+	return out
+}
+
+// Bindings returns the (interface, direction) pairs whose ACLs apply to
+// traffic on this path, in traversal order. Unbound (nil-ACL) pairs are
+// included too, because fix/generate may place new ACLs on them.
+func (p Path) Bindings() []ACLBinding {
+	out := make([]ACLBinding, 0, 2*len(p.Hops))
+	for _, h := range p.Hops {
+		out = append(out, ACLBinding{Iface: h.In, Dir: In}, ACLBinding{Iface: h.Out, Dir: Out})
+	}
+	return out
+}
+
+// Src returns the border interface where the path enters the scope.
+func (p Path) Src() *Interface { return p.Hops[0].In }
+
+// Dst returns the border interface where the path leaves the scope.
+func (p Path) Dst() *Interface { return p.Hops[len(p.Hops)-1].Out }
+
+// Permits evaluates the path decision model c_p(h) (Equation 1): the
+// conjunction of every on-path ACL's decision on the packet.
+func (p Path) Permits(pkt header.Packet) bool {
+	for _, h := range p.Hops {
+		if !h.In.Permits(In, pkt) || !h.Out.Permits(Out, pkt) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path in the paper's ⟨A1, A4, D1, D3⟩ notation.
+func (p Path) String() string {
+	parts := make([]string, 0, 2*len(p.Hops))
+	for _, i := range p.Interfaces() {
+		parts = append(parts, i.ID())
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Key returns a canonical identity string for deduplication.
+func (p Path) Key() string { return p.String() }
+
+// maxPathDevices bounds structural path enumeration; cloud WAN paths are
+// short (the paper's footnote 1: paths are enumerable in polynomial time
+// over the routing DAG).
+const maxPathDevices = 12
+
+// AllPaths enumerates P_Ω, the paths of the scope's routing DAG: every
+// loop-free border-to-border route that the forwarding tables support for
+// at least one class of entering traffic (the paper's footnote 1 — paths
+// come "from the perspective of routing DAGs", which keeps enumeration
+// polynomial in layered networks by pruning valley routes no traffic can
+// take). Each device traversal goes from an ingress interface to an
+// egress interface that either leaves the scope (ending the path) or
+// links to another in-scope device. Results are deterministic.
+func (n *Network) AllPaths(s *Scope) []Path {
+	classes := n.EnteringTraffic(s)
+	var out []Path
+	for _, entry := range n.BorderInterfaces(s) {
+		if !s.AllowsEntry(entry.ID()) {
+			continue
+		}
+		// Traffic can enter here if the interface is an edge or its
+		// upstream is out of scope.
+		up := n.Upstream(entry)
+		if up != nil && s.ContainsDevice(up.Device.Name) {
+			continue // this border interface only sends traffic out
+		}
+		visited := map[string]bool{}
+		n.extendPaths(s, entry, visited, nil, classes, &out)
+	}
+	return out
+}
+
+// extendPaths extends a partial path entering dev through in. alive is
+// the set of traffic classes the forwarding tables could still route
+// along the partial path; a branch with no alive classes is pruned.
+func (n *Network) extendPaths(s *Scope, in *Interface, visited map[string]bool, hops []Hop, alive []header.Prefix, out *[]Path) {
+	dev := in.Device
+	if visited[dev.Name] || len(hops) >= maxPathDevices {
+		return
+	}
+	visited[dev.Name] = true
+	defer delete(visited, dev.Name)
+
+	for _, o := range dev.SortedInterfaces() {
+		if o == in {
+			continue
+		}
+		// Keep only the classes this device actually forwards to o.
+		var next []header.Prefix
+		for _, c := range alive {
+			for _, lpmOut := range dev.LongestMatchClass(c) {
+				if lpmOut == o {
+					next = append(next, c)
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			continue
+		}
+		peer := n.Peer(o)
+		cur := append(append([]Hop(nil), hops...), Hop{In: in, Out: o})
+		switch {
+		case peer == nil:
+			// Network edge: the path leaves the scope here.
+			*out = append(*out, Path{Hops: cur})
+		case !s.ContainsDevice(peer.Device.Name):
+			*out = append(*out, Path{Hops: cur})
+		default:
+			n.extendPaths(s, peer, visited, cur, next, out)
+		}
+	}
+}
+
+// ForwardsClass reports whether the network's forwarding tables route the
+// destination-prefix class along path p: at every hop, the device's LPM
+// for the class selects the hop's egress interface. class must be atomic
+// with respect to every on-path FIB.
+func (p Path) ForwardsClass(class header.Prefix) bool {
+	for _, h := range p.Hops {
+		outs := h.In.Device.LongestMatchClass(class)
+		found := false
+		for _, o := range outs {
+			if o == h.Out {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// PathsForClass returns the subset of paths that forward the class (the
+// 𝒴 sets of Algorithm 1 and §5.3).
+func PathsForClass(paths []Path, class header.Prefix) []Path {
+	var out []Path
+	for _, p := range paths {
+		if p.ForwardsClass(class) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Validate performs structural sanity checks on a path.
+func (p Path) Validate(n *Network) error {
+	if len(p.Hops) == 0 {
+		return fmt.Errorf("topo: empty path")
+	}
+	for i, h := range p.Hops {
+		if h.In.Device != h.Out.Device {
+			return fmt.Errorf("topo: hop %d spans devices %s and %s", i, h.In.Device.Name, h.Out.Device.Name)
+		}
+		if i > 0 {
+			prev := p.Hops[i-1]
+			if n.Peer(prev.Out) != h.In {
+				return fmt.Errorf("topo: hop %d not linked from previous hop", i)
+			}
+		}
+	}
+	return nil
+}
