@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full bench experiments examples vet fmt clean
+.PHONY: all build test test-full race lint bench experiments examples vet fmt clean
 
 all: build vet test
 
@@ -23,13 +23,24 @@ test:
 test-full:
 	$(GO) test ./...
 
+# Race-detector pass over the fast suite (CheckParallel, obs sinks).
+race:
+	$(GO) test -race -short ./...
+
+# Formatting + static checks; fails when any file needs gofmt.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
 # The Figure 4a–4d benchmark harness.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate the evaluation tables (small+medium; add -large manually).
+# Regenerate the evaluation tables (small+medium; add -large manually)
+# plus the machine-readable BENCH_experiments.json artifact.
 experiments:
-	$(GO) run ./cmd/jinjing-experiments
+	$(GO) run ./cmd/jinjing-experiments -json BENCH_experiments.json
 
 examples:
 	$(GO) run ./examples/quickstart

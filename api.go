@@ -1,11 +1,14 @@
 package jinjing
 
 import (
+	"io"
+
 	"jinjing/internal/acl"
 	"jinjing/internal/core"
 	"jinjing/internal/header"
 	"jinjing/internal/lai"
 	"jinjing/internal/netgen"
+	"jinjing/internal/obs"
 	"jinjing/internal/topo"
 )
 
@@ -159,6 +162,46 @@ func NewEngine(before, after *Network, scope *Scope, opts Options) *Engine {
 
 // Run executes a resolved LAI program's commands in order.
 func Run(r *Resolved, opts Options) (*Report, error) { return core.Run(r, opts) }
+
+// Observability (set Options.Obs to instrument a run; see internal/obs).
+type (
+	// Observer bundles the tracing, metrics, and progress facets threaded
+	// through the engine via Options.Obs. A nil Observer is a no-op.
+	Observer = obs.Observer
+	// Tracer emits hierarchical spans to a sink.
+	Tracer = obs.Tracer
+	// Span is one timed region of a run.
+	Span = obs.Span
+	// TraceSink receives finished spans and metrics snapshots.
+	TraceSink = obs.Sink
+	// Metrics is a registry of counters, gauges, and histograms.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// Progress throttles N/M task reporting to a writer.
+	Progress = obs.Progress
+)
+
+// NewObserver bundles observability facets; pass any subset, nil the rest.
+func NewObserver(t *Tracer, m *Metrics, p *Progress) *Observer {
+	return obs.NewObserver(t, m, p)
+}
+
+// NewTracer returns a tracer emitting to sink (nil sink disables tracing).
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
+
+// NewJSONLTraceSink writes one JSON object per span (and per metrics
+// snapshot) to w.
+func NewJSONLTraceSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewTextTraceSink writes indented human-readable span lines to w.
+func NewTextTraceSink(w io.Writer) TraceSink { return obs.NewTextSink(w) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewProgress returns a progress reporter writing to w (nil disables).
+func NewProgress(w io.Writer) *Progress { return obs.NewProgress(w) }
 
 // Synthetic networks (the evaluation substrate).
 type (

@@ -2,6 +2,7 @@ package jinjing_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -118,6 +119,86 @@ func run(t *testing.T, bin string, args ...string) {
 	}
 }
 
+// TestCLIObservability drives the -trace/-metrics/-progress/-cpuprofile/
+// -memprofile flags end to end: the trace must be valid JSONL ending in a
+// metrics record, and the profiles must materialize even on the
+// nonzero-exit (inconsistent) path.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run builds binaries; skipped in -short mode")
+	}
+	netgenBin := buildTool(t, "jinjing-netgen")
+	jinjingBin := buildTool(t, "jinjing")
+	dir := t.TempDir()
+
+	before := filepath.Join(dir, "net.json")
+	after := filepath.Join(dir, "net-after.json")
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-out", before)
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-perturb", "4", "-out", after)
+	prog := filepath.Join(dir, "check.lai")
+	writeProgram(t, prog, "check\n")
+
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	cmd := exec.Command(jinjingBin,
+		"-topo", before, "-updated", after, "-program", prog,
+		"-trace", tracePath, "-metrics", "-progress",
+		"-cpuprofile", cpuPath, "-memprofile", memPath,
+	)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("perturbed check should exit nonzero\n%s", out)
+	}
+	if !strings.Contains(string(out), "sat.conflicts") {
+		t.Fatalf("-metrics output missing from stderr:\n%s", out)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace too short:\n%s", data)
+	}
+	sawCheck := false
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %d not JSON: %v\n%s", i, err, line)
+		}
+		switch rec["type"] {
+		case "span":
+			if rec["name"] == "check" {
+				sawCheck = true
+			}
+		case "metrics":
+			if i != len(lines)-1 {
+				t.Fatalf("metrics record must be last (line %d of %d)", i, len(lines))
+			}
+		default:
+			t.Fatalf("trace line %d has unknown type: %s", i, line)
+		}
+	}
+	if !sawCheck {
+		t.Fatalf("no check span in trace:\n%s", data)
+	}
+	if rec := lines[len(lines)-1]; !strings.Contains(rec, `"metrics"`) {
+		t.Fatalf("trace does not end with a metrics record: %s", rec)
+	}
+
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
 // TestCLIExperimentsSmoke runs the experiments binary on the tiniest
 // subset to keep the tool honest.
 func TestCLIExperimentsSmoke(t *testing.T) {
@@ -125,12 +206,33 @@ func TestCLIExperimentsSmoke(t *testing.T) {
 		t.Skip("binary build; skipped in -short mode")
 	}
 	bin := buildTool(t, "jinjing-experiments")
-	out, err := exec.Command(bin, "-figures", "t5").CombinedOutput()
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	out, err := exec.Command(bin, "-figures", "t5", "-json", jsonPath).CombinedOutput()
 	if err != nil {
 		t.Fatalf("experiments t5: %v\n%s", err, out)
 	}
 	if !strings.Contains(string(out), "Table 5") {
 		t.Fatalf("missing Table 5 header:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-json report not written: %v", err)
+	}
+	var report struct {
+		Table5 []struct {
+			Size       string `json:"size"`
+			Experiment string `json:"experiment"`
+			Lines      int    `json:"lines"`
+		} `json:"table5"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bad -json report: %v\n%s", err, data)
+	}
+	if len(report.Table5) == 0 {
+		t.Fatalf("empty table5 in report:\n%s", data)
+	}
+	if report.Table5[0].Size != "small" || report.Table5[0].Lines <= 0 {
+		t.Fatalf("report row malformed: %+v", report.Table5[0])
 	}
 }
 

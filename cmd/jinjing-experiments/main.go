@@ -7,12 +7,15 @@
 //	jinjing-experiments                 # all figures, small+medium
 //	jinjing-experiments -large          # include the large network
 //	jinjing-experiments -figures 4a,4d  # a subset
+//	jinjing-experiments -json BENCH_experiments.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"jinjing/internal/experiments"
@@ -21,10 +24,27 @@ import (
 
 func main() {
 	var (
-		large   = flag.Bool("large", false, "include the large network (minutes of runtime)")
-		figures = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,t5")
+		large      = flag.Bool("large", false, "include the large network (minutes of runtime)")
+		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,t5")
+		jsonPath   = flag.String("json", "", "also write the rows as JSON to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	sizes := []netgen.Size{netgen.Small, netgen.Medium}
 	if *large {
@@ -35,14 +55,18 @@ func main() {
 		want[strings.TrimSpace(f)] = true
 	}
 
+	var report experiments.BenchReport
 	if want["4a"] {
-		experiments.PrintCheckRows(os.Stdout, experiments.Fig4aCheck(sizes))
+		report.Checks = experiments.Fig4aCheck(sizes)
+		experiments.PrintCheckRows(os.Stdout, report.Checks)
 		fmt.Println()
 	}
 	if want["4b"] {
-		experiments.PrintFixRows(os.Stdout, experiments.Fig4bFix(sizes, []bool{true, false}))
+		report.Fixes = experiments.Fig4bFix(sizes, []bool{true, false})
+		experiments.PrintFixRows(os.Stdout, report.Fixes)
 		rows := []experiments.FixRow{experiments.Fig4bNoExpansion(netgen.Small, 2000)}
 		experiments.PrintFixRows(os.Stdout, rows)
+		report.Fixes = append(report.Fixes, rows...)
 		fmt.Println()
 	}
 	if want["4c"] {
@@ -58,14 +82,47 @@ func main() {
 			rows = append(rows, experiments.Fig4cGenerate(sizes[2:], []bool{true})...)
 		}
 		experiments.PrintGenerateRows(os.Stdout, "Figure 4c — generate migration plan", rows)
+		report.Generates = append(report.Generates, rows...)
 		fmt.Println()
 	}
 	if want["4d"] {
 		rows := experiments.Fig4dOpen(sizes, []int{1, 2, 4})
 		experiments.PrintGenerateRows(os.Stdout, "Figure 4d — reachability control (open) + generate", rows)
+		report.Generates = append(report.Generates, rows...)
 		fmt.Println()
 	}
 	if want["t5"] {
-		experiments.PrintTable5(os.Stdout, experiments.Table5Programs(sizes))
+		report.Table5 = experiments.Table5Programs(sizes)
+		experiments.PrintTable5(os.Stdout, report.Table5)
 	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialize final heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jinjing-experiments:", err)
+	os.Exit(2)
 }

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -30,6 +32,7 @@ import (
 	"jinjing/internal/ciscoconf"
 	"jinjing/internal/core"
 	"jinjing/internal/lai"
+	"jinjing/internal/obs"
 	"jinjing/internal/topo"
 )
 
@@ -46,6 +49,13 @@ func main() {
 		emitIOS     = flag.Bool("emit-ios", false, "print fixed/generated ACLs as Cisco-IOS access lists")
 		workers     = flag.Int("workers", 1, "parallel workers for the check primitive")
 		explain     = flag.Bool("explain", false, "print hop-by-hop decision traces for each violation")
+
+		tracePath   = flag.String("trace", "", "write a JSONL span trace to this file")
+		traceText   = flag.Bool("trace-text", false, "print a human-readable span trace to stderr")
+		showMetrics = flag.Bool("metrics", false, "print the metrics registry to stderr after the run")
+		progress    = flag.Bool("progress", false, "report N/M progress to stderr during long phases")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	if (*topoPath == "" && *configsDir == "") || *programPath == "" {
@@ -95,8 +105,15 @@ func main() {
 		engineOpts = core.Options{FindAllViolations: *findAll, Workers: *workers}
 	}
 
+	observer, finish, err := setupObservability(*tracePath, *traceText, *showMetrics, *progress, *cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	engineOpts.Obs = observer
+
 	report, err := core.Run(resolved, engineOpts)
 	if err != nil {
+		finish()
 		fatal(err)
 	}
 	report.Print(os.Stdout)
@@ -113,6 +130,9 @@ func main() {
 	if *emitIOS {
 		emitIOSPlans(report)
 	}
+	// Flush traces, metrics, and profiles explicitly: the inconsistent
+	// exit below bypasses deferred calls.
+	finish()
 
 	// Exit nonzero when a check failed and nothing repaired it, so the
 	// command composes into automation.
@@ -123,6 +143,83 @@ func main() {
 			}
 		}
 	}
+}
+
+// setupObservability builds the -trace/-metrics/-progress observer and
+// starts the requested pprof profiles. The returned finish func flushes
+// the trace, prints metrics, and writes the profiles; call it exactly
+// once before exiting (os.Exit bypasses defers).
+func setupObservability(tracePath string, traceText, showMetrics, progress bool, cpuProfile, memProfile string) (*obs.Observer, func(), error) {
+	var sink obs.Sink
+	var traceFile *os.File
+	switch {
+	case tracePath != "":
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		traceFile = f
+		sink = obs.NewJSONLSink(f)
+	case traceText:
+		sink = obs.NewTextSink(os.Stderr)
+	}
+	var m *obs.Metrics
+	if showMetrics || sink != nil {
+		m = obs.NewMetrics()
+	}
+	var p *obs.Progress
+	if progress {
+		p = obs.NewProgress(os.Stderr)
+	}
+	observer := obs.NewObserver(obs.NewTracer(sink), m, p)
+
+	var stopCPU func()
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			return nil, nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			return nil, nil, err
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
+	finish := func() {
+		observer.Flush() // appends the final metrics snapshot to the trace
+		if showMetrics {
+			observer.WriteMetrics(os.Stderr)
+		}
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jinjing:", err)
+				return
+			}
+			runtime.GC() // materialize final heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jinjing:", err)
+			}
+			f.Close()
+		}
+	}
+	return observer, finish, nil
 }
 
 // loadConfigs assembles a network from a directory of IOS-style device

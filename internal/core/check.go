@@ -5,6 +5,8 @@ import (
 
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
+	"jinjing/internal/obs"
+	"jinjing/internal/sat"
 	"jinjing/internal/smt"
 	"jinjing/internal/topo"
 )
@@ -28,8 +30,13 @@ type CheckResult struct {
 	// rest were discharged by the Theorem 4.1 fast path).
 	FECs       int
 	SolvedFECs int
+	// SolverStats aggregates the full SAT counters (decisions,
+	// propagations, conflicts, restarts, learned, deleted) across every
+	// solver the check spun up — including all CheckParallel workers.
+	SolverStats sat.Stats
 	// Conflicts totals SAT conflict counts across all queries, the
-	// stand-in for the paper's "DPLL recursive calls" (§9).
+	// stand-in for the paper's "DPLL recursive calls" (§9). It equals
+	// SolverStats.Conflicts and is kept for compatibility.
 	Conflicts int64
 	Timings   Timings
 }
@@ -46,9 +53,11 @@ func (e *Engine) Check() *CheckResult {
 }
 
 func (e *Engine) checkSequential() *CheckResult {
+	o := e.obsv()
+	root := e.startSpan("check", obs.KV("mode", "sequential"))
 	res := &CheckResult{Consistent: true, Timings: Timings{}}
 
-	t0 := time.Now()
+	pre := startPhase(root, res.Timings, "preprocess")
 	pairs := e.scopeACLPairs()
 
 	// Theorem 4.1 preprocessing: compute Diff_Ω and filter every ACL down
@@ -68,7 +77,9 @@ func (e *Engine) checkSequential() *CheckResult {
 		}
 		if len(diff) == 0 && len(e.Controls) == 0 {
 			// No rule changed anywhere: trivially consistent.
-			res.Timings.add("preprocess", time.Since(t0))
+			pre.end(obs.KV("diff_rules", 0))
+			root.SetAttr("fast_path", true)
+			root.End()
 			return res
 		}
 		for _, p := range pairs {
@@ -82,18 +93,21 @@ func (e *Engine) checkSequential() *CheckResult {
 			encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
 		}
 	}
-	res.Timings.add("preprocess", time.Since(t0))
+	pre.end(obs.KV("diff_rules", len(diff)), obs.KV("acl_pairs", len(pairs)))
 
-	t0 = time.Now()
+	fp := startPhase(root, res.Timings, "fec")
 	fecs := e.FECs()
 	res.FECs = len(fecs)
-	res.Timings.add("fec", time.Since(t0))
+	fp.end(obs.KV("fecs", len(fecs)))
 
-	t0 = time.Now()
-	enc := newEncoder(e.Opts.UseTournament)
+	sp := startPhase(root, res.Timings, "solve")
+	enc := newEncoder(e.Opts.UseTournament, o)
 	solver := smt.SolverOn(enc.b)
+	task := o.StartTask("check: FECs", int64(len(fecs)))
+	hist := o.Histogram("check.fec_solve_ns")
 
 	for _, fec := range fecs {
+		task.Add(1)
 		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
 			// Fast path: no differential rule overlaps this FEC, so by
 			// Theorem 4.1 the update cannot change its reachability.
@@ -104,7 +118,15 @@ func (e *Engine) checkSequential() *CheckResult {
 			continue
 		}
 		res.SolvedFECs++
-		if !solver.Solve(enc.b.And(viol, enc.classPred(fec.Classes))) {
+		var t1 time.Time
+		if hist != nil {
+			t1 = time.Now()
+		}
+		satisfiable := solver.Solve(enc.b.And(viol, enc.classPred(fec.Classes)))
+		if hist != nil {
+			hist.Observe(time.Since(t1).Nanoseconds())
+		}
+		if !satisfiable {
 			continue
 		}
 		res.Consistent = false
@@ -121,8 +143,16 @@ func (e *Engine) checkSequential() *CheckResult {
 			break
 		}
 	}
-	res.Conflicts = solver.Stats().Conflicts
-	res.Timings.add("solve", time.Since(t0))
+	task.Done()
+	recordSolverStats(o, &res.SolverStats, solver.Stats())
+	res.Conflicts = res.SolverStats.Conflicts
+	recordBuilderSize(o, enc)
+	o.Counter("check.fecs").Add(int64(res.FECs))
+	o.Counter("check.fecs.solved").Add(int64(res.SolvedFECs))
+	o.Counter("check.violations").Add(int64(len(res.Violations)))
+	sp.end(obs.KV("solved", res.SolvedFECs), obs.KV("violations", len(res.Violations)))
+	root.SetAttr("consistent", res.Consistent)
+	root.End()
 	return res
 }
 

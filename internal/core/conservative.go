@@ -1,10 +1,9 @@
 package core
 
 import (
-	"time"
-
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
+	"jinjing/internal/obs"
 	"jinjing/internal/smt"
 )
 
@@ -23,8 +22,9 @@ func (e *Engine) CheckConservative() *CheckResult {
 	if len(e.Controls) > 0 {
 		panic("core: CheckConservative cannot decide per-path control intents")
 	}
+	root := e.startSpan("check.conservative")
 	res := &CheckResult{Consistent: true, Timings: Timings{}}
-	t0 := time.Now()
+	sp := startPhase(root, res.Timings, "solve")
 	for _, p := range e.scopeACLPairs() {
 		before, after := orPermitAll(p.before), orPermitAll(p.after)
 		var equal bool
@@ -45,14 +45,16 @@ func (e *Engine) CheckConservative() *CheckResult {
 			})
 		}
 	}
-	res.Timings.add("solve", time.Since(t0))
+	sp.end(obs.KV("violations", len(res.Violations)))
+	root.SetAttr("consistent", res.Consistent)
+	root.End()
 	return res
 }
 
 // counterexamplePacket finds one packet the two ACLs decide differently
 // (they are known inequivalent).
 func counterexamplePacket(a, b *acl.ACL) header.Packet {
-	enc := newEncoder(true)
+	enc := newEncoder(true, nil)
 	s := smt.SolverOn(enc.b)
 	fa := enc.encodeACL(a)
 	fb := enc.encodeACL(b)

@@ -8,10 +8,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
+	"jinjing/internal/obs"
 	"jinjing/internal/smt"
 	"jinjing/internal/topo"
 )
@@ -89,6 +91,11 @@ type Options struct {
 	// Workers > 1 fans the check primitive's per-FEC queries out across
 	// that many goroutines (each with an independent solver).
 	Workers int
+	// Obs receives spans, metrics, and progress from every primitive.
+	// nil (the default) disables observability at zero cost: the no-op
+	// path adds no allocations to the solve hot loop (guarded by a
+	// testing.AllocsPerRun test in internal/obs).
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns the paper's full configuration.
@@ -114,6 +121,11 @@ type Engine struct {
 	// may write (the LAI allow region).
 	Allow []topo.ACLBinding
 	Opts  Options
+
+	// parentSpan, when set, nests the primitives' root spans under an
+	// enclosing span (Run's "run" span); primitives called directly
+	// emit root-level spans.
+	parentSpan *obs.Span
 
 	// paths and classes are computed lazily and shared across primitives.
 	paths   []topo.Path
@@ -217,17 +229,26 @@ func orPermitAll(a *acl.ACL) *acl.ACL {
 }
 
 // encoder caches ACL circuit encodings over a shared builder and
-// symbolic packet.
+// symbolic packet. Cache effectiveness is observable through the
+// encoder.cache.{hits,misses} counters (nil counters when metrics are
+// off).
 type encoder struct {
 	b          *smt.Builder
 	pv         *smt.PacketVars
 	tournament bool
 	cache      map[*acl.ACL]smt.F
+	hits       *obs.Counter
+	misses     *obs.Counter
 }
 
-func newEncoder(tournament bool) *encoder {
+func newEncoder(tournament bool, o *obs.Observer) *encoder {
 	b := smt.NewBuilder()
-	return &encoder{b: b, pv: b.NewPacketVars(), tournament: tournament, cache: make(map[*acl.ACL]smt.F)}
+	return &encoder{
+		b: b, pv: b.NewPacketVars(), tournament: tournament,
+		cache:  make(map[*acl.ACL]smt.F),
+		hits:   o.Counter("encoder.cache.hits"),
+		misses: o.Counter("encoder.cache.misses"),
+	}
 }
 
 // encodeACL returns the decision-model circuit f_ξ for a (possibly nil)
@@ -237,8 +258,10 @@ func (enc *encoder) encodeACL(a *acl.ACL) smt.F {
 		return smt.True
 	}
 	if f, ok := enc.cache[a]; ok {
+		enc.hits.Inc()
 		return f
 	}
+	enc.misses.Inc()
 	var f smt.F
 	if enc.tournament {
 		f = a.EncodeTournament(enc.b, enc.pv)
@@ -260,21 +283,29 @@ func (enc *encoder) classPred(classes []header.Prefix) smt.F {
 }
 
 // Timings records per-phase wall-clock durations for the experiment
-// harness.
+// harness. It is a derived view of the tracer spans (each phase span
+// accumulates its duration here as it ends), kept so existing
+// experiment code and logs need no observer.
 type Timings map[string]time.Duration
 
 func (t Timings) add(phase string, d time.Duration) {
 	t[phase] += d
 }
 
-// String renders timings compactly.
+// String renders timings compactly with sorted phase keys, so
+// experiment logs are stable across runs.
 func (t Timings) String() string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	out := ""
-	for k, v := range t {
+	for _, k := range keys {
 		if out != "" {
 			out += " "
 		}
-		out += fmt.Sprintf("%s=%v", k, v)
+		out += fmt.Sprintf("%s=%v", k, t[k])
 	}
 	return out
 }

@@ -3,10 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
+	"jinjing/internal/obs"
+	"jinjing/internal/sat"
 	"jinjing/internal/smt"
 	"jinjing/internal/topo"
 )
@@ -36,7 +37,12 @@ type FixResult struct {
 	Unfixable []header.Match
 	// Verified reports whether re-running Check on the fixed snapshot
 	// confirmed consistency.
-	Verified  bool
+	Verified bool
+	// SolverStats aggregates the full SAT counters across every solver
+	// the fix spun up: the neighborhood-seeking solver, one placement
+	// solver per neighborhood, and the verification check.
+	SolverStats sat.Stats
+	// Conflicts equals SolverStats.Conflicts (kept for compatibility).
 	Conflicts int64
 	Timings   Timings
 }
@@ -45,8 +51,11 @@ type FixResult struct {
 // neighborhoods and synthesizes a minimal fixing plan restricted to the
 // engine's Allow bindings, then verifies the result.
 func (e *Engine) Fix() (*FixResult, error) {
+	o := e.obsv()
+	root := e.startSpan("fix")
+	defer root.End() // idempotent; covers the error returns
 	res := &FixResult{Timings: Timings{}}
-	t0 := time.Now()
+	pre := startPhase(root, res.Timings, "preprocess")
 
 	pairs := e.scopeACLPairs()
 	var diff []acl.Rule
@@ -80,7 +89,7 @@ func (e *Engine) Fix() (*FixResult, error) {
 		cons.acls = append(cons.acls, orPermitAll(p.before), orPermitAll(p.after))
 	}
 	cons.computeBounds()
-	res.Timings.add("preprocess", time.Since(t0))
+	pre.end(obs.KV("diff_rules", len(diff)), obs.KV("acl_pairs", len(pairs)))
 
 	fixed := e.After.Clone()
 	allowSet := map[string]bool{}
@@ -93,11 +102,15 @@ func (e *Engine) Fix() (*FixResult, error) {
 		maxN = 10000
 	}
 
-	t0 = time.Now()
-	enc := newEncoder(e.Opts.UseTournament)
+	sp := startPhase(root, res.Timings, "solve")
+	enc := newEncoder(e.Opts.UseTournament, o)
 	solver := smt.SolverOn(enc.b)
+	iterations := o.Counter("fix.iterations")
+	fecs := e.FECs()
+	task := o.StartTask("fix: FECs", int64(len(fecs)))
 
-	for _, fec := range e.FECs() {
+	for _, fec := range fecs {
+		task.Add(1)
 		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
 			continue
 		}
@@ -110,6 +123,7 @@ func (e *Engine) Fix() (*FixResult, error) {
 		// Seek neighborhoods: find a counterexample, enlarge it, exclude
 		// it, repeat until the violation formula is exhausted (§4.2).
 		for len(res.Neighborhoods)+len(res.Unfixable) < maxN {
+			iterations.Inc()
 			if !solver.Solve(base) {
 				break
 			}
@@ -129,12 +143,15 @@ func (e *Engine) Fix() (*FixResult, error) {
 			base = enc.b.And(base, enc.b.MatchPred(enc.pv, nb).Not())
 		}
 	}
-	res.Conflicts = solver.Stats().Conflicts
-	res.Timings.add("solve", time.Since(t0))
+	task.Done()
+	recordSolverStats(o, &res.SolverStats, solver.Stats())
+	recordBuilderSize(o, enc)
+	sp.end(obs.KV("neighborhoods", len(res.Neighborhoods)),
+		obs.KV("unfixable", len(res.Unfixable)))
 
 	// Simplify the ACLs the plan touched (§4.2 extension).
 	if e.Opts.SimplifyOutput {
-		t0 = time.Now()
+		sim := startPhase(root, res.Timings, "simplify")
 		touched := map[string]topo.ACLBinding{}
 		for _, a := range res.Actions {
 			// Re-derive the binding from its ID on the fixed network.
@@ -156,16 +173,27 @@ func (e *Engine) Fix() (*FixResult, error) {
 				b.Iface.SetACL(b.Dir, simplifyBounded(a))
 			}
 		}
-		res.Timings.add("simplify", time.Since(t0))
+		sim.end(obs.KV("touched", len(touched)))
 	}
 
 	res.Fixed = fixed
 
 	// Verify: the fixed snapshot must pass check.
-	t0 = time.Now()
-	ver := &Engine{Before: e.Before, After: fixed, Scope: e.Scope, Controls: e.Controls, Opts: e.Opts}
-	res.Verified = ver.Check().Consistent
-	res.Timings.add("verify", time.Since(t0))
+	vp := startPhase(root, res.Timings, "verify")
+	ver := &Engine{Before: e.Before, After: fixed, Scope: e.Scope, Controls: e.Controls, Opts: e.Opts, parentSpan: vp.sp}
+	cr := ver.Check()
+	res.Verified = cr.Consistent
+	// The verification check recorded its own sat.* metrics; fold its
+	// counters into this primitive's aggregate too.
+	res.SolverStats.Add(cr.SolverStats)
+	res.Conflicts = res.SolverStats.Conflicts
+	vp.end(obs.KV("verified", res.Verified))
+
+	o.Counter("fix.neighborhoods").Add(int64(len(res.Neighborhoods)))
+	o.Counter("fix.actions").Add(int64(len(res.Actions)))
+	o.Counter("fix.unfixable").Add(int64(len(res.Unfixable)))
+	root.SetAttr("verified", res.Verified)
+	root.End()
 	return res, nil
 }
 
@@ -236,7 +264,9 @@ func (e *Engine) fixNeighborhood(res *FixResult, fixed *topo.Network, fec topo.F
 			costs = append(costs, vars[id])
 		}
 	}
-	if _, ok := s.SolveMinimize(costs); !ok {
+	_, ok := s.SolveMinimize(costs)
+	recordSolverStats(e.obsv(), &res.SolverStats, s.Stats())
+	if !ok {
 		res.Unfixable = append(res.Unfixable, nb)
 		return nil
 	}

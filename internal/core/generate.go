@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
+	"jinjing/internal/obs"
+	"jinjing/internal/sat"
 	"jinjing/internal/smt"
 	"jinjing/internal/topo"
 )
@@ -35,7 +36,12 @@ type GenerateResult struct {
 	RulesGenerated     int
 	RulesAfterSimplify int
 
-	Verified  bool
+	Verified bool
+	// SolverStats aggregates the full SAT counters across every solver
+	// the generation spun up: one per AEC/DEC solving attempt plus the
+	// verification check.
+	SolverStats sat.Stats
+	// Conflicts equals SolverStats.Conflicts (kept for compatibility).
 	Conflicts int64
 	Timings   Timings
 }
@@ -68,6 +74,9 @@ type decGroup struct {
 // engine's Allow bindings so that packet (or desired, under controls)
 // reachability is preserved.
 func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
+	o := e.obsv()
+	root := e.startSpan("generate", obs.KV("sources", len(sources)))
+	defer root.End() // idempotent; covers the error returns
 	res := &GenerateResult{ACLs: map[string]*acl.ACL{}, Timings: Timings{}}
 
 	srcSet := map[string]bool{}
@@ -96,7 +105,7 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 	}
 
 	// Phase 1: derive classes and group them into AECs (§5.1).
-	t0 := time.Now()
+	dp := startPhase(root, res.Timings, "derive-aec")
 	classes, err := e.deriveClasses()
 	if err != nil {
 		return nil, err
@@ -107,10 +116,11 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 		return nil, err
 	}
 	res.AECs = len(aecs)
-	res.Timings.add("derive-aec", time.Since(t0))
+	dp.end(obs.KV("classes", res.Classes), obs.KV("aecs", res.AECs))
 
 	// Phase 2: solve each AEC, falling back to DECs (§5.2, §5.3).
-	t0 = time.Now()
+	sp := startPhase(root, res.Timings, "solve")
+	task := o.StartTask("generate: AECs", int64(len(aecs)))
 	paths := e.Paths()
 	fwdCache := map[header.Prefix][]topo.Path{}
 	fwdFor := func(dst header.Prefix) []topo.Path {
@@ -121,10 +131,10 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 		fwdCache[dst] = p
 		return p
 	}
-	var conflicts int64
 	for _, a := range aecs {
-		ok, nc := e.solveAEC(a, paths, encIdx, srcSet, tgtSet, targetIDs)
-		conflicts += nc
+		task.Add(1)
+		ok, st := e.solveAEC(a, paths, encIdx, srcSet, tgtSet, targetIDs)
+		recordSolverStats(o, &res.SolverStats, st)
 		if ok {
 			a.solved = true
 			continue
@@ -151,8 +161,8 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 		for _, key := range order {
 			g := groups[key]
 			sub := &aec{key: a.key, classes: g.classes, decisions: a.decisions, ctrlIn: a.ctrlIn}
-			ok, nc := e.solveAEC(sub, g.paths, encIdx, srcSet, tgtSet, targetIDs)
-			conflicts += nc
+			ok, st := e.solveAEC(sub, g.paths, encIdx, srcSet, tgtSet, targetIDs)
+			recordSolverStats(o, &res.SolverStats, st)
 			if !ok {
 				res.Unsolvable = append(res.Unsolvable, g.classes...)
 				continue
@@ -161,8 +171,9 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 			a.decs = append(a.decs, g)
 		}
 	}
-	res.Conflicts = conflicts
-	res.Timings.add("solve", time.Since(t0))
+	task.Done()
+	res.Conflicts = res.SolverStats.Conflicts
+	sp.end(obs.KV("dec_splits", res.DECSplitAECs), obs.KV("unsolvable", len(res.Unsolvable)))
 
 	if len(res.Unsolvable) > 0 {
 		// No valid plan for the intent (§5.3); report without synthesis.
@@ -171,7 +182,7 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 
 	// Phase 3: synthesize ACLs at each target (§5.4, with §5.5
 	// optimizations).
-	t0 = time.Now()
+	syp := startPhase(root, res.Timings, "synthesize")
 	rows := e.buildRows(aecs, encBindings)
 	for _, id := range targetIDs {
 		synth := e.synthesizeTarget(id, rows)
@@ -182,7 +193,7 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 		res.RulesAfterSimplify += len(synth.Rules)
 		res.ACLs[id] = synth
 	}
-	res.Timings.add("synthesize", time.Since(t0))
+	syp.end(obs.KV("rules", res.RulesGenerated), obs.KV("rules_simplified", res.RulesAfterSimplify))
 
 	// Build the generated network.
 	gen := e.Before.Clone()
@@ -203,10 +214,22 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 	res.Generated = gen
 
 	// Verify: the generated snapshot must pass check.
-	t0 = time.Now()
-	ver := &Engine{Before: e.Before, After: gen, Scope: e.Scope, Controls: e.Controls, Opts: e.Opts}
-	res.Verified = ver.Check().Consistent
-	res.Timings.add("verify", time.Since(t0))
+	vp := startPhase(root, res.Timings, "verify")
+	ver := &Engine{Before: e.Before, After: gen, Scope: e.Scope, Controls: e.Controls, Opts: e.Opts, parentSpan: vp.sp}
+	cr := ver.Check()
+	res.Verified = cr.Consistent
+	// The verification check recorded its own sat.* metrics; fold its
+	// counters into this primitive's aggregate too.
+	res.SolverStats.Add(cr.SolverStats)
+	res.Conflicts = res.SolverStats.Conflicts
+	vp.end(obs.KV("verified", res.Verified))
+
+	o.Counter("generate.classes").Add(int64(res.Classes))
+	o.Counter("generate.aecs").Add(int64(res.AECs))
+	o.Counter("generate.aecs.dec_split").Add(int64(res.DECSplitAECs))
+	o.Counter("generate.rules").Add(int64(res.RulesGenerated))
+	o.Counter("generate.rules.simplified").Add(int64(res.RulesAfterSimplify))
+	root.SetAttr("verified", res.Verified)
 	return res, nil
 }
 
@@ -256,8 +279,9 @@ func (e *Engine) deriveAECs(encBindings []topo.ACLBinding, classes []header.Matc
 // solveAEC finds per-target decisions for one AEC (or DEC) over the given
 // path set, per Equations 8–10. Decision variables are phrased as "deny"
 // variables so that unconstrained targets default to permit (the SAT
-// solver branches false-first). Returns false when unsatisfiable.
-func (e *Engine) solveAEC(a *aec, paths []topo.Path, encIdx map[string]int, srcSet, tgtSet map[string]bool, targetIDs []string) (bool, int64) {
+// solver branches false-first). Returns false when unsatisfiable, along
+// with the attempt's full solver counters.
+func (e *Engine) solveAEC(a *aec, paths []topo.Path, encIdx map[string]int, srcSet, tgtSet map[string]bool, targetIDs []string) (bool, sat.Stats) {
 	s := smt.NewSolver()
 	b := s.B
 	denyVars := map[string]smt.F{}
@@ -283,13 +307,13 @@ func (e *Engine) solveAEC(a *aec, paths []topo.Path, encIdx map[string]int, srcS
 		s.Assert(b.Iff(lhs, b.Const(e.desiredForAEC(a, p, encIdx))))
 	}
 	if !s.Solve() {
-		return false, s.Stats().Conflicts
+		return false, s.Stats()
 	}
 	a.dec = make(map[string]bool, len(targetIDs))
 	for _, id := range targetIDs {
 		a.dec[id] = !s.Value(denyVars[id])
 	}
-	return true, s.Stats().Conflicts
+	return true, s.Stats()
 }
 
 // desiredForAEC computes the (constant) desired decision of path p on an

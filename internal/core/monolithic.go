@@ -1,9 +1,8 @@
 package core
 
 import (
-	"time"
-
 	"jinjing/internal/acl"
+	"jinjing/internal/obs"
 	"jinjing/internal/smt"
 )
 
@@ -15,16 +14,18 @@ import (
 // filtering, no per-FEC decomposition — and hands the whole thing to the
 // solver in a single query. It decides the same property as Check.
 func (e *Engine) CheckMonolithic() *CheckResult {
+	o := e.obsv()
+	root := e.startSpan("check.monolithic")
 	res := &CheckResult{Consistent: true, Timings: Timings{}}
-	t0 := time.Now()
 
+	ep := startPhase(root, res.Timings, "encode")
 	pairs := e.scopeACLPairs()
 	encodeACLs := make(map[string][2]*acl.ACL, len(pairs))
 	for _, p := range pairs {
 		encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
 	}
 
-	enc := newEncoder(false /* sequential encoding */)
+	enc := newEncoder(false /* sequential encoding */, o)
 	solver := smt.SolverOn(enc.b)
 
 	// Traffic classes forwarded along each path (so the one big formula
@@ -55,15 +56,19 @@ func (e *Engine) CheckMonolithic() *CheckResult {
 		desired, after := e.pathFormulas(enc, p, encodeACLs)
 		viol = enc.b.Or(viol, enc.b.And(enc.b.Iff(desired, after).Not(), psi))
 	}
-	res.Timings.add("encode", time.Since(t0))
+	recordBuilderSize(o, enc)
+	ep.end(obs.KV("fecs", res.FECs))
 
-	t0 = time.Now()
+	sp := startPhase(root, res.Timings, "solve")
 	res.SolvedFECs = res.FECs // everything reaches the solver at once
 	if solver.Solve(viol) {
 		res.Consistent = false
 		res.Violations = append(res.Violations, Violation{Packet: solver.Packet(enc.pv)})
 	}
-	res.Conflicts = solver.Stats().Conflicts
-	res.Timings.add("solve", time.Since(t0))
+	recordSolverStats(o, &res.SolverStats, solver.Stats())
+	res.Conflicts = res.SolverStats.Conflicts
+	sp.end(obs.KV("violations", len(res.Violations)))
+	root.SetAttr("consistent", res.Consistent)
+	root.End()
 	return res
 }

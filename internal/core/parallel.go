@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"jinjing/internal/acl"
+	"jinjing/internal/obs"
+	"jinjing/internal/sat"
 	"jinjing/internal/smt"
 )
 
@@ -28,9 +30,11 @@ func (e *Engine) CheckParallel(workers int) *CheckResult {
 	if workers <= 1 {
 		return e.checkSequential()
 	}
+	o := e.obsv()
+	root := e.startSpan("check", obs.KV("mode", "parallel"), obs.KV("workers", workers))
 	res := &CheckResult{Consistent: true, Timings: Timings{}}
 
-	t0 := time.Now()
+	pre := startPhase(root, res.Timings, "preprocess")
 	pairs := e.scopeACLPairs()
 	var diff []acl.Rule
 	encodeACLs := make(map[string][2]*acl.ACL, len(pairs))
@@ -44,7 +48,9 @@ func (e *Engine) CheckParallel(workers int) *CheckResult {
 			}
 		}
 		if len(diff) == 0 && len(e.Controls) == 0 {
-			res.Timings.add("preprocess", time.Since(t0))
+			pre.end(obs.KV("diff_rules", 0))
+			root.SetAttr("fast_path", true)
+			root.End()
 			return res
 		}
 		for _, p := range pairs {
@@ -58,18 +64,19 @@ func (e *Engine) CheckParallel(workers int) *CheckResult {
 			encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
 		}
 	}
-	res.Timings.add("preprocess", time.Since(t0))
+	pre.end(obs.KV("diff_rules", len(diff)), obs.KV("acl_pairs", len(pairs)))
 
-	t0 = time.Now()
+	fp := startPhase(root, res.Timings, "fec")
 	fecs := e.FECs()
 	res.FECs = len(fecs)
-	res.Timings.add("fec", time.Since(t0))
+	fp.end(obs.KV("fecs", len(fecs)))
 
 	// Encode every query once on a single shared builder (the expensive
 	// part), so workers only solve: the builder is immutable while the
 	// workers run, and each worker owns its own SAT solver and Tseitin
 	// mapping over the shared node DAG.
-	enc := newEncoder(e.Opts.UseTournament)
+	ep := startPhase(root, res.Timings, "encode")
+	enc := newEncoder(e.Opts.UseTournament, o)
 	type job struct {
 		fecIdx   int
 		query    smt.F
@@ -92,17 +99,23 @@ func (e *Engine) CheckParallel(workers int) *CheckResult {
 		jobs = append(jobs, j)
 	}
 	res.SolvedFECs = len(jobs)
+	recordBuilderSize(o, enc)
+	ep.end(obs.KV("jobs", len(jobs)))
+
+	sp := startPhase(root, res.Timings, "solve")
+	task := o.StartTask("check: FECs", int64(len(jobs)))
+	hist := o.Histogram("check.fec_solve_ns")
 
 	type hit struct {
 		fecIdx int
 		v      Violation
 	}
 	var (
-		next      atomic.Int64
-		conflicts atomic.Int64
-		mu        sync.Mutex
-		hits      []hit
-		wg        sync.WaitGroup
+		next     atomic.Int64
+		mu       sync.Mutex
+		aggStats sat.Stats
+		hits     []hit
+		wg       sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -115,7 +128,16 @@ func (e *Engine) CheckParallel(workers int) *CheckResult {
 					break
 				}
 				j := jobs[k]
-				if !solver.Solve(j.query) {
+				var t1 time.Time
+				if hist != nil {
+					t1 = time.Now()
+				}
+				satisfiable := solver.Solve(j.query)
+				if hist != nil {
+					hist.Observe(time.Since(t1).Nanoseconds())
+				}
+				task.Add(1)
+				if !satisfiable {
 					continue
 				}
 				fec := fecs[j.fecIdx]
@@ -129,10 +151,13 @@ func (e *Engine) CheckParallel(workers int) *CheckResult {
 				hits = append(hits, hit{fecIdx: j.fecIdx, v: v})
 				mu.Unlock()
 			}
-			conflicts.Add(solver.Stats().Conflicts)
+			mu.Lock()
+			aggStats.Add(solver.Stats())
+			mu.Unlock()
 		}()
 	}
 	wg.Wait()
+	task.Done()
 
 	sort.Slice(hits, func(i, j int) bool { return hits[i].fecIdx < hits[j].fecIdx })
 	for _, h := range hits {
@@ -142,7 +167,13 @@ func (e *Engine) CheckParallel(workers int) *CheckResult {
 			break
 		}
 	}
-	res.Conflicts = conflicts.Load()
-	res.Timings.add("solve", time.Since(t0))
+	recordSolverStats(o, &res.SolverStats, aggStats)
+	res.Conflicts = res.SolverStats.Conflicts
+	o.Counter("check.fecs").Add(int64(res.FECs))
+	o.Counter("check.fecs.solved").Add(int64(res.SolvedFECs))
+	o.Counter("check.violations").Add(int64(len(res.Violations)))
+	sp.end(obs.KV("solved", res.SolvedFECs), obs.KV("violations", len(res.Violations)))
+	root.SetAttr("consistent", res.Consistent)
+	root.End()
 	return res
 }

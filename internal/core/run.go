@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"jinjing/internal/lai"
+	"jinjing/internal/obs"
 	"jinjing/internal/topo"
 )
 
@@ -56,6 +57,9 @@ func FromResolved(r *lai.Resolved, opts Options) *Engine {
 func Run(r *lai.Resolved, opts Options) (*Report, error) {
 	e := FromResolved(r, opts)
 	rep := &Report{Final: r.After}
+	root := opts.Obs.StartSpan("run", obs.KV("commands", len(r.Commands)))
+	defer root.End()
+	e.parentSpan = root
 	for _, cmd := range r.Commands {
 		switch cmd {
 		case lai.Check:

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"jinjing/internal/header"
 	"jinjing/internal/lai"
 	"jinjing/internal/netgen"
+	"jinjing/internal/sat"
 	"jinjing/internal/topo"
 )
 
@@ -64,14 +66,15 @@ func allACLBindings(w *netgen.WAN, n *topo.Network) []topo.ACLBinding {
 
 // CheckRow is one Fig. 4a measurement.
 type CheckRow struct {
-	Size       netgen.Size
-	PerturbPct float64
-	Mode       string // "differential" or "basic"
-	Consistent bool
-	FECs       int
-	SolvedFECs int
-	Conflicts  int64
-	Elapsed    time.Duration
+	Size       netgen.Size   `json:"size"`
+	PerturbPct float64       `json:"perturb_pct"`
+	Mode       string        `json:"mode"` // "differential" or "basic"
+	Consistent bool          `json:"consistent"`
+	FECs       int           `json:"fecs"`
+	SolvedFECs int           `json:"solved_fecs"`
+	Conflicts  int64         `json:"conflicts"`
+	Stats      sat.Stats     `json:"stats"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
 }
 
 // CheckEngine builds the Fig. 4a engine for one cell. Path and FEC
@@ -113,6 +116,7 @@ func Fig4aCheck(sizes []netgen.Size) []CheckRow {
 					Size: size, PerturbPct: pct, Mode: mode,
 					Consistent: res.Consistent, FECs: res.FECs,
 					SolvedFECs: res.SolvedFECs, Conflicts: res.Conflicts,
+					Stats:   res.SolverStats,
 					Elapsed: time.Since(t0),
 				})
 			}
@@ -123,13 +127,14 @@ func Fig4aCheck(sizes []netgen.Size) []CheckRow {
 
 // FixRow is one Fig. 4b measurement.
 type FixRow struct {
-	Size          netgen.Size
-	PerturbPct    float64
-	Mode          string
-	Neighborhoods int
-	Actions       int
-	Verified      bool
-	Elapsed       time.Duration
+	Size          netgen.Size   `json:"size"`
+	PerturbPct    float64       `json:"perturb_pct"`
+	Mode          string        `json:"mode"`
+	Neighborhoods int           `json:"neighborhoods"`
+	Actions       int           `json:"actions"`
+	Verified      bool          `json:"verified"`
+	Stats         sat.Stats     `json:"stats"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
 }
 
 // FixEngine builds the Fig. 4b engine for one cell. The unoptimized mode
@@ -173,6 +178,7 @@ func Fig4bNoExpansion(size netgen.Size, cap int) FixRow {
 		Neighborhoods: len(res.Neighborhoods),
 		Actions:       len(res.Actions),
 		Verified:      res.Verified,
+		Stats:         res.SolverStats,
 		Elapsed:       time.Since(t0),
 	}
 }
@@ -198,6 +204,7 @@ func Fig4bFix(sizes []netgen.Size, modes []bool) []FixRow {
 					Neighborhoods: len(res.Neighborhoods),
 					Actions:       len(res.Actions),
 					Verified:      res.Verified,
+					Stats:         res.SolverStats,
 					Elapsed:       time.Since(t0),
 				})
 			}
@@ -208,20 +215,21 @@ func Fig4bFix(sizes []netgen.Size, modes []bool) []FixRow {
 
 // GenerateRow is one Fig. 4c / Fig. 4d measurement.
 type GenerateRow struct {
-	Size        netgen.Size
-	Label       string // "migration", "open-1", ...
-	Mode        string
-	Classes     int
-	AECs        int
-	DECSplits   int
-	Rules       int // before simplification
-	RulesSimpl  int
-	Verified    bool
-	Elapsed     time.Duration
-	DeriveAEC   time.Duration
-	Solve       time.Duration
-	Synthesize  time.Duration
-	VerifyPhase time.Duration
+	Size        netgen.Size   `json:"size"`
+	Label       string        `json:"label"` // "migration", "open-1", ...
+	Mode        string        `json:"mode"`
+	Classes     int           `json:"classes"`
+	AECs        int           `json:"aecs"`
+	DECSplits   int           `json:"dec_splits"`
+	Rules       int           `json:"rules"` // before simplification
+	RulesSimpl  int           `json:"rules_simplified"`
+	Verified    bool          `json:"verified"`
+	Stats       sat.Stats     `json:"stats"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	DeriveAEC   time.Duration `json:"derive_aec_ns"`
+	Solve       time.Duration `json:"solve_ns"`
+	Synthesize  time.Duration `json:"synthesize_ns"`
+	VerifyPhase time.Duration `json:"verify_ns"`
 }
 
 // MigrationSetup returns the Fig. 4c engine and sources: move every
@@ -275,7 +283,8 @@ func genRow(size netgen.Size, label string, optimized bool, res *core.GenerateRe
 		Size: size, Label: label, Mode: mode,
 		Classes: res.Classes, AECs: res.AECs, DECSplits: res.DECSplitAECs,
 		Rules: res.RulesGenerated, RulesSimpl: res.RulesAfterSimplify,
-		Verified: res.Verified && len(res.Unsolvable) == 0, Elapsed: elapsed,
+		Verified: res.Verified && len(res.Unsolvable) == 0,
+		Stats:    res.SolverStats, Elapsed: elapsed,
 		DeriveAEC: res.Timings["derive-aec"], Solve: res.Timings["solve"],
 		Synthesize: res.Timings["synthesize"], VerifyPhase: res.Timings["verify"],
 	}
@@ -330,9 +339,9 @@ func Fig4dOpen(sizes []netgen.Size, perDevice []int) []GenerateRow {
 
 // Table5Row is one LAI program-size measurement.
 type Table5Row struct {
-	Size       netgen.Size
-	Experiment string
-	Lines      int
+	Size       netgen.Size `json:"size"`
+	Experiment string      `json:"experiment"`
+	Lines      int         `json:"lines"`
 }
 
 // Table5Programs builds the LAI program for each experiment of §8 and
@@ -408,6 +417,23 @@ func indexByte(s string, b byte) int {
 		}
 	}
 	return -1
+}
+
+// BenchReport collects every experiment row of one run for
+// machine-readable output (the BENCH_experiments.json artifact written by
+// cmd/jinjing-experiments -json).
+type BenchReport struct {
+	Checks    []CheckRow    `json:"checks,omitempty"`
+	Fixes     []FixRow      `json:"fixes,omitempty"`
+	Generates []GenerateRow `json:"generates,omitempty"`
+	Table5    []Table5Row   `json:"table5,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // Printing helpers ----------------------------------------------------

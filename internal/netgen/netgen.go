@@ -42,6 +42,25 @@ func (s Size) String() string {
 	}
 }
 
+// MarshalText serializes the scale by name, so JSON reports read
+// "small"/"medium"/"large" rather than bare iota values.
+func (s Size) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a scale name.
+func (s *Size) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "small":
+		*s = Small
+	case "medium":
+		*s = Medium
+	case "large":
+		*s = Large
+	default:
+		return fmt.Errorf("netgen: unknown size %q", text)
+	}
+	return nil
+}
+
 // Config parameterizes the generator.
 type Config struct {
 	Size Size

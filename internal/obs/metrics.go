@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges, and histograms.
+// Lookups are mutex-guarded (resolve instruments once, outside hot
+// loops); the instruments themselves are lock-free or finely locked and
+// safe for concurrent use. A nil *Metrics registry hands out nil
+// instruments, which no-op.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64. Nil counters no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins int64. Nil gauges no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates an int64 distribution in power-of-two buckets:
+// bucket i counts values v with bit length i (bucket 0 holds v <= 0).
+// Exact count/sum/min/max come for free; quantiles are approximate with
+// relative error bounded by one octave. Nil histograms no-op.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [65]int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[idx]++
+	h.mu.Unlock()
+}
+
+// stat freezes the histogram into a HistogramStat.
+func (h *Histogram) stat() HistogramStat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HistogramStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		st.Mean = float64(h.sum) / float64(h.count)
+		st.P50 = h.quantileLocked(0.50)
+		st.P90 = h.quantileLocked(0.90)
+		st.P99 = h.quantileLocked(0.99)
+	}
+	return st
+}
+
+// quantileLocked returns the upper bound of the bucket holding the q-th
+// observation, clamped to the exact max.
+func (h *Histogram) quantileLocked(q float64) int64 {
+	rank := int64(q * float64(h.count-1))
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return min64(0, h.max)
+			}
+			hi := int64(1)<<i - 1 // 2^i - 1, the bucket's upper bound
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// HistogramStat is a frozen histogram summary. Count/Sum/Min/Max are
+// exact; the quantiles are bucket upper bounds (≤ one octave of error).
+type HistogramStat struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a Metrics registry, suitable for
+// JSON serialization or text rendering.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry. A nil registry yields a zero Snapshot.
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]int64, len(m.counters))
+		for k, c := range m.counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(m.gauges))
+		for k, g := range m.gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(m.hists) > 0 {
+		s.Histograms = make(map[string]HistogramStat, len(m.hists))
+		for k, h := range m.hists {
+			s.Histograms[k] = h.stat()
+		}
+	}
+	return s
+}
+
+// WriteText renders the snapshot with sorted keys, one metric per line.
+func (s Snapshot) WriteText(w io.Writer) {
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "%-28s %d\n", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "%-28s %d\n", k, s.Gauges[k])
+	}
+	hk := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hk = append(hk, k)
+	}
+	sort.Strings(hk)
+	for _, k := range hk {
+		h := s.Histograms[k]
+		fmt.Fprintf(w, "%-28s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p90=%d p99=%d\n",
+			k, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P90, h.P99)
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

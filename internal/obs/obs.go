@@ -1,0 +1,127 @@
+// Package obs is Jinjing's zero-dependency observability layer: span
+// tracing, a metrics registry, and progress reporting for the engine
+// pipeline. The paper's evaluation (§8–§9) is entirely about where time
+// goes — preprocessing vs. FEC computation vs. SAT solving, with solver
+// conflict counts standing in for "DPLL recursive calls" — and this
+// package is the instrument every such measurement flows through.
+//
+// The design point is that observability must cost nothing when it is
+// off. Every type in this package is nil-safe: a nil *Observer (the
+// default), nil *Tracer, nil *Span, nil *Counter, and so on accept every
+// method call as a no-op without allocating, so the engine can be
+// instrumented unconditionally and pay only for what a caller actually
+// enables. A testing.AllocsPerRun guard in obs_test.go pins the no-op
+// path at zero allocations.
+//
+// The three facets:
+//
+//   - Tracer emits hierarchical spans (start/end with attributes and
+//     monotonic durations) into a Sink: JSONL for machine consumption or
+//     human-readable text.
+//   - Metrics is a registry of named counters, gauges, and histograms;
+//     Snapshot freezes it for printing or serialization.
+//   - Progress reports N/M completion of long-running loops (e.g. FECs
+//     solved) to a writer, throttled.
+//
+// Observer bundles all three so call sites thread a single pointer.
+package obs
+
+import "io"
+
+// Observer bundles a Tracer, a Metrics registry, and a Progress
+// reporter. A nil *Observer is the valid, zero-cost "observability off"
+// value; every method on it no-ops.
+type Observer struct {
+	tracer   *Tracer
+	metrics  *Metrics
+	progress *Progress
+}
+
+// NewObserver builds an Observer from its (individually optional)
+// facets. When all three are nil it returns nil, keeping the no-op
+// fast path a single pointer test.
+func NewObserver(t *Tracer, m *Metrics, p *Progress) *Observer {
+	if t == nil && m == nil && p == nil {
+		return nil
+	}
+	return &Observer{tracer: t, metrics: m, progress: p}
+}
+
+// Tracer returns the observer's tracer (nil when tracing is off).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Metrics returns the observer's metrics registry (nil when metrics are
+// off).
+func (o *Observer) Metrics() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.metrics
+}
+
+// StartSpan opens a root span on the observer's tracer. Returns nil
+// (a no-op span) when tracing is off.
+func (o *Observer) StartSpan(name string, attrs ...Attr) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Start(name, attrs...)
+}
+
+// Counter returns the named counter, or nil (a no-op counter) when
+// metrics are off. Resolve once outside hot loops: the lookup takes a
+// registry lock.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.metrics.Counter(name)
+}
+
+// Gauge returns the named gauge, or nil when metrics are off.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram, or nil when metrics are off.
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.metrics.Histogram(name)
+}
+
+// StartTask opens a progress task of the given total (0 = unknown).
+// Returns nil (a no-op task) when progress reporting is off.
+func (o *Observer) StartTask(label string, total int64) *Task {
+	if o == nil {
+		return nil
+	}
+	return o.progress.StartTask(label, total)
+}
+
+// Flush emits a final metrics snapshot into the trace sink (when both
+// facets are configured), so a JSONL trace ends with the aggregate
+// counters the spans explain.
+func (o *Observer) Flush() {
+	if o == nil || o.tracer == nil || o.metrics == nil {
+		return
+	}
+	o.tracer.sink.Metrics(o.metrics.Snapshot())
+}
+
+// WriteMetrics renders the current metrics snapshot as sorted text.
+func (o *Observer) WriteMetrics(w io.Writer) {
+	if o == nil || o.metrics == nil {
+		return
+	}
+	o.metrics.Snapshot().WriteText(w)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress reports long-run completion (N/M lines) to a writer,
+// throttled so hot loops can report every iteration without flooding
+// the terminal. A nil *Progress hands out nil tasks, which no-op.
+type Progress struct {
+	mu          sync.Mutex
+	w           io.Writer
+	minInterval time.Duration
+}
+
+// NewProgress returns a reporter on w (nil w disables reporting).
+// Reports are throttled to at most one line per 200ms per task.
+func NewProgress(w io.Writer) *Progress {
+	if w == nil {
+		return nil
+	}
+	return &Progress{w: w, minInterval: 200 * time.Millisecond}
+}
+
+// SetMinInterval overrides the per-task report throttle (0 reports
+// every Add).
+func (p *Progress) SetMinInterval(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.minInterval = d
+	p.mu.Unlock()
+}
+
+// StartTask opens a progress task with the given total (0 = unknown).
+func (p *Progress) StartTask(label string, total int64) *Task {
+	if p == nil {
+		return nil
+	}
+	return &Task{p: p, label: label, total: total}
+}
+
+// Task tracks one loop's completion. Add is safe to call from multiple
+// goroutines. Nil tasks no-op.
+type Task struct {
+	p     *Progress
+	label string
+	total int64
+	done  atomic.Int64
+	last  atomic.Int64 // UnixNano of the last emitted report
+}
+
+// Add advances the task by n and emits a report when the throttle
+// interval has passed.
+func (t *Task) Add(n int64) {
+	if t == nil {
+		return
+	}
+	done := t.done.Add(n)
+	t.p.mu.Lock()
+	interval := t.p.minInterval
+	t.p.mu.Unlock()
+	now := time.Now().UnixNano()
+	last := t.last.Load()
+	if now-last < int64(interval) {
+		return
+	}
+	if t.last.CompareAndSwap(last, now) {
+		t.report(done)
+	}
+}
+
+// Done emits the final report unconditionally.
+func (t *Task) Done() {
+	if t == nil {
+		return
+	}
+	t.report(t.done.Load())
+}
+
+func (t *Task) report(done int64) {
+	t.p.mu.Lock()
+	defer t.p.mu.Unlock()
+	if t.total > 0 {
+		fmt.Fprintf(t.p.w, "%s: %d/%d\n", t.label, done, t.total)
+	} else {
+		fmt.Fprintf(t.p.w, "%s: %d\n", t.label, done)
+	}
+}

@@ -79,12 +79,24 @@ type watcher struct {
 // Stats carries solver counters, useful for the §9 discussion benches
 // (number of conflicts stands in for "DPLL recursive calls").
 type Stats struct {
-	Decisions    int64
-	Propagations int64
-	Conflicts    int64
-	Restarts     int64
-	Learned      int64
-	Deleted      int64
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Restarts     int64 `json:"restarts"`
+	Learned      int64 `json:"learned"`
+	Deleted      int64 `json:"deleted"`
+}
+
+// Add accumulates o's counters into s; engines use it to aggregate
+// stats across the many solvers one primitive spins up (per-worker,
+// per-neighborhood, per-AEC).
+func (s *Stats) Add(o Stats) {
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Restarts += o.Restarts
+	s.Learned += o.Learned
+	s.Deleted += o.Deleted
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
