@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race lint bench experiments examples vet fmt clean
+.PHONY: all build test test-full race fuzz lint bench experiments examples vet fmt clean
 
 all: build vet test
 
@@ -15,9 +15,12 @@ vet:
 fmt:
 	gofmt -l -w .
 
-# Fast suite: unit + property tests, no evaluation tables.
-test:
+# Default suite: vet, the fast (-short) tier, then a race-detector pass
+# over the concurrency-bearing packages (worker pool, parallel fix, obs
+# sinks). Stays well under the ~9 min full-suite budget.
+test: vet
 	$(GO) test -short ./...
+	$(GO) test -race -short ./internal/core ./internal/sat ./internal/smt
 
 # Full suite: everything, including the §8 experiment tables (minutes).
 test-full:
@@ -26,6 +29,12 @@ test-full:
 # Race-detector pass over the fast suite (CheckParallel, obs sinks).
 race:
 	$(GO) test -race -short ./...
+
+# Bounded differential-fuzz corpus: the full (non-short) randomized
+# harness pinning Check == CheckParallel(k) == monolithic, plus the
+# sequential-vs-parallel fix agreement corpus.
+fuzz:
+	$(GO) test -count=1 -run 'TestFuzz|TestFixParallelMatchesSequential' ./internal/core
 
 # Formatting + static checks; fails when any file needs gofmt.
 lint:

@@ -135,8 +135,13 @@ type (
 	Options = core.Options
 	// CheckResult reports a check outcome.
 	CheckResult = core.CheckResult
+	// Violation is one reachability inconsistency: a counterexample
+	// packet, its traffic classes, and the paths that changed decision.
+	Violation = core.Violation
 	// FixResult reports a fixing plan.
 	FixResult = core.FixResult
+	// FixAction is one fixing-plan entry: a rule prepended to a binding.
+	FixAction = core.FixAction
 	// GenerateResult reports a synthesis outcome.
 	GenerateResult = core.GenerateResult
 	// Report is the outcome of running a whole LAI program.

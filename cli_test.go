@@ -199,6 +199,52 @@ func TestCLIObservability(t *testing.T) {
 	}
 }
 
+// TestCLIWorkersGolden pins the determinism contract at the CLI surface:
+// the same program run with -workers N must produce byte-identical stdout
+// (verdict, violations, counterexample packets, fix report) for every N.
+// The parallel path may schedule solver queries in any order internally,
+// but witnesses come from a canonical pass in FEC order, so the output
+// a user sees cannot depend on worker count.
+func TestCLIWorkersGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run builds binaries; skipped in -short mode")
+	}
+	netgenBin := buildTool(t, "jinjing-netgen")
+	jinjingBin := buildTool(t, "jinjing")
+	dir := t.TempDir()
+
+	before := filepath.Join(dir, "net.json")
+	after := filepath.Join(dir, "net-after.json")
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-out", before)
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-perturb", "4", "-out", after)
+	prog := filepath.Join(dir, "checkfix.lai")
+	writeProgram(t, prog, "check\nfix\n")
+
+	outputs := map[int]string{}
+	for _, workers := range []int{1, 2, 8} {
+		cmd := exec.Command(jinjingBin,
+			"-topo", before, "-updated", after, "-program", prog,
+			"-all-violations", "-workers", itoa(workers),
+		)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("-workers %d failed: %v\n%s%s", workers, err, stdout.String(), stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "verified=true") {
+			t.Fatalf("-workers %d: expected a verified fix:\n%s", workers, stdout.String())
+		}
+		outputs[workers] = stdout.String()
+	}
+	for _, workers := range []int{2, 8} {
+		if outputs[workers] != outputs[1] {
+			t.Errorf("-workers %d stdout differs from -workers 1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, outputs[1], workers, outputs[workers])
+		}
+	}
+}
+
 // TestCLIExperimentsSmoke runs the experiments binary on the tiniest
 // subset to keep the tool honest.
 func TestCLIExperimentsSmoke(t *testing.T) {

@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		large      = flag.Bool("large", false, "include the large network (minutes of runtime)")
-		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,t5")
+		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,t5")
 		jsonPath   = flag.String("json", "", "also write the rows as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -89,6 +89,19 @@ func main() {
 		rows := experiments.Fig4dOpen(sizes, []int{1, 2, 4})
 		experiments.PrintGenerateRows(os.Stdout, "Figure 4d — reachability control (open) + generate", rows)
 		report.Generates = append(report.Generates, rows...)
+		fmt.Println()
+	}
+	if want["par"] {
+		// The parallel-scaling figure skips the small network: its
+		// turnaround is microsecond-scale and worker startup dominates.
+		parSizes := make([]netgen.Size, 0, len(sizes))
+		for _, s := range sizes {
+			if s != netgen.Small {
+				parSizes = append(parSizes, s)
+			}
+		}
+		report.Parallel = experiments.FigParallelCheck(parSizes, []int{1, 2, 4, 8})
+		experiments.PrintParallelRows(os.Stdout, report.Parallel)
 		fmt.Println()
 	}
 	if want["t5"] {

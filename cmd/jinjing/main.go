@@ -47,7 +47,7 @@ func main() {
 		noOpt       = flag.Bool("no-optimizations", false, "disable all optimizations (basic Algorithm 1)")
 		findAll     = flag.Bool("all-violations", false, "report one violation per forwarding equivalence class")
 		emitIOS     = flag.Bool("emit-ios", false, "print fixed/generated ACLs as Cisco-IOS access lists")
-		workers     = flag.Int("workers", 1, "parallel workers for the check primitive")
+		workers     = flag.Int("workers", 1, "parallel workers for check, fix, and generate")
 		explain     = flag.Bool("explain", false, "print hop-by-hop decision traces for each violation")
 
 		tracePath   = flag.String("trace", "", "write a JSONL span trace to this file")

@@ -148,6 +148,45 @@ func (a *ACL) Equal(b *ACL) bool {
 	return true
 }
 
+// Fingerprint returns a canonical 64-bit structural hash of the ACL:
+// FNV-1a over the default action and every rule's action and raw match
+// fields. Equal ACLs (per Equal, which is field-wise) always hash the
+// same, so the engine's encoding cache can recognize structurally
+// identical ACLs reached through different pointers — e.g. the cloned
+// but unchanged bindings of an update — and encode them once.
+// Collisions are possible and must be resolved with Equal.
+func (a *ACL) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	if a.Default == Permit {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	mix(uint64(len(a.Rules)))
+	for _, r := range a.Rules {
+		if r.Action == Permit {
+			mix(3)
+		} else {
+			mix(4)
+		}
+		m := r.Match
+		mix(uint64(m.Src.Addr)<<8 | uint64(uint8(m.Src.Len)))
+		mix(uint64(m.Dst.Addr)<<8 | uint64(uint8(m.Dst.Len)))
+		mix(uint64(m.SrcPort.Lo)<<16 | uint64(m.SrcPort.Hi))
+		mix(uint64(m.DstPort.Lo)<<16 | uint64(m.DstPort.Hi))
+		mix(uint64(m.Proto.Lo)<<8 | uint64(m.Proto.Hi))
+	}
+	return h
+}
+
 // String renders the ACL as comma-separated rules ending with the default,
 // mirroring the paper's notation, e.g.
 // "deny dst 6.0.0.0/8, permit all".

@@ -1,0 +1,42 @@
+package acl
+
+import "testing"
+
+func TestFingerprintAgreesWithEqual(t *testing.T) {
+	programs := []string{
+		"permit all",
+		"deny all",
+		"deny dst 6.0.0.0/8, permit all",
+		"deny dst 6.0.0.0/8, deny all",
+		"permit dst 6.0.0.0/8, deny all",
+		"deny dst 6.0.0.0/8, deny dst 7.0.0.0/8, permit all",
+		"deny dst 7.0.0.0/8, deny dst 6.0.0.0/8, permit all",
+		"deny src 10.0.0.0/24 dst 6.0.0.0/8 dport 80, permit all",
+		"deny src 10.0.0.0/24 dst 6.0.0.0/8 dport 81, permit all",
+		"deny proto 6, permit all",
+		"deny proto 17, permit all",
+	}
+	acls := make([]*ACL, len(programs))
+	for i, p := range programs {
+		acls[i] = MustParse(p)
+	}
+	for i, a := range acls {
+		for j, b := range acls {
+			eq := a.Equal(b)
+			fpEq := a.Fingerprint() == b.Fingerprint()
+			if eq && !fpEq {
+				t.Errorf("equal ACLs %d/%d have different fingerprints:\n  %s\n  %s", i, j, a, b)
+			}
+			if !eq && fpEq {
+				t.Errorf("fingerprint collision between distinct ACLs %d/%d:\n  %s\n  %s", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestFingerprintStableAcrossClone(t *testing.T) {
+	a := MustParse("deny dst 1.0.0.0/8, deny src 2.0.0.0/16 sport 1024-2048, permit all")
+	if a.Fingerprint() != a.Clone().Fingerprint() {
+		t.Fatal("clone changed the fingerprint")
+	}
+}

@@ -44,116 +44,155 @@ type CheckResult struct {
 // Check verifies packet (or desired, when controls are present)
 // reachability consistency between the engine's Before and After
 // snapshots, per Algorithm 1. With Options.Workers > 1 the per-FEC
-// queries run concurrently (see CheckParallel).
+// queries run concurrently (see CheckParallel). Repeated calls on the
+// same engine reuse the encoded queries and warmed solvers.
 func (e *Engine) Check() *CheckResult {
-	if e.Opts.Workers > 1 {
-		return e.CheckParallel(e.Opts.Workers)
-	}
-	return e.checkSequential()
+	return e.checkWith(e.Opts.Workers)
 }
 
-func (e *Engine) checkSequential() *CheckResult {
+// CheckParallel is Check with the per-FEC Equation-3 queries fanned out
+// across the given number of workers, overriding Options.Workers. The
+// ACL cones are Tseitin-clausified once into a prototype solver and
+// deep-copied to each worker (smt.Fork), so clausification is paid once
+// per distinct ACL rather than once per worker; worker solvers persist
+// on the engine and are reused by later calls. Verdict, violations, and
+// SolvedFECs are identical to the sequential path: counterexamples come
+// from a deterministic witness pass over the violating FECs in FEC
+// order, independent of worker scheduling.
+func (e *Engine) CheckParallel(workers int) *CheckResult {
+	return e.checkWith(workers)
+}
+
+func (e *Engine) checkWith(workers int) *CheckResult {
 	o := e.obsv()
-	root := e.startSpan("check", obs.KV("mode", "sequential"))
+	attrs := []obs.Attr{obs.KV("mode", "sequential")}
+	if workers > 1 {
+		attrs = []obs.Attr{obs.KV("mode", "parallel"), obs.KV("workers", workers)}
+	}
+	root := e.startSpan("check", attrs...)
 	res := &CheckResult{Consistent: true, Timings: Timings{}}
 
 	pre := startPhase(root, res.Timings, "preprocess")
-	pairs := e.scopeACLPairs()
-
-	// Theorem 4.1 preprocessing: compute Diff_Ω and filter every ACL down
-	// to its related rules.
-	var diff []acl.Rule
-	encodeACLs := make(map[string][2]*acl.ACL, len(pairs)) // binding ID -> {before, after}
-	if e.Opts.UseDifferential {
-		for _, p := range pairs {
-			diff = append(diff, acl.Differential(orPermitAll(p.before), orPermitAll(p.after))...)
-		}
-		// §6: control-related prefixes join the differential set so their
-		// related rules survive filtering.
-		for _, c := range e.Controls {
-			if !c.Match.IsAll() {
-				diff = append(diff, acl.Rule{Action: acl.Permit, Match: c.Match})
-			}
-		}
-		if len(diff) == 0 && len(e.Controls) == 0 {
-			// No rule changed anywhere: trivially consistent.
-			pre.end(obs.KV("diff_rules", 0))
-			root.SetAttr("fast_path", true)
-			root.End()
-			return res
-		}
-		for _, p := range pairs {
-			encodeACLs[p.binding.ID()] = [2]*acl.ACL{
-				acl.Related(orPermitAll(p.before), diff),
-				acl.Related(orPermitAll(p.after), diff),
-			}
-		}
-	} else {
-		for _, p := range pairs {
-			encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
-		}
+	ctx := e.checkContext(o)
+	if ctx.fastPath {
+		// No rule changed anywhere: trivially consistent.
+		pre.end(obs.KV("diff_rules", 0))
+		root.SetAttr("fast_path", true)
+		root.End()
+		return res
 	}
-	pre.end(obs.KV("diff_rules", len(diff)), obs.KV("acl_pairs", len(pairs)))
+	pre.end(obs.KV("diff_rules", ctx.diffRules), obs.KV("acl_pairs", ctx.aclPairs))
 
 	fp := startPhase(root, res.Timings, "fec")
-	fecs := e.FECs()
-	res.FECs = len(fecs)
-	fp.end(obs.KV("fecs", len(fecs)))
+	if ctx.fecs == nil {
+		ctx.fecs = e.FECs()
+	}
+	res.FECs = len(ctx.fecs)
+	fp.end(obs.KV("fecs", len(ctx.fecs)))
 
+	// Detection: decide which encoded queries are satisfiable. hits is
+	// ascending job indices; in first-violation mode it has at most one
+	// entry — the lowest violating job, exactly what the sequential scan
+	// finds.
+	var hits []int
+	if workers > 1 {
+		hits = e.solveParallel(ctx, res, root, o, workers)
+	} else {
+		hits = e.solveSequential(ctx, res, root, o)
+	}
+
+	// Witness extraction: re-solve the violating queries in FEC order on
+	// a fresh solver over the shared builder. The builder's node IDs and
+	// this solver's variable numbering depend only on the queries and
+	// their order — not on worker count or scheduling — so the reported
+	// counterexamples are deterministic and byte-identical across
+	// sequential and parallel runs.
+	if len(hits) > 0 {
+		res.Consistent = false
+		wp := startPhase(root, res.Timings, "witness")
+		if equalHits(ctx.witHits, hits) {
+			// The violating job set is unchanged since the last call on
+			// this engine, and witnesses are a pure function of (jobs,
+			// hits) — reuse them. Repeated checks (operator sessions,
+			// fix's verify loop) skip the re-solve entirely.
+			res.Violations = append(res.Violations, ctx.witnesses...)
+			wp.end(obs.KV("violations", len(res.Violations)), obs.KV("cached", true))
+		} else {
+			ws := smt.SolverOn(ctx.enc.b)
+			for _, ji := range hits {
+				j := ctx.jobs[ji]
+				if !ws.Solve(j.query) {
+					panic("core: witness solver disagrees with detection solver")
+				}
+				fec := ctx.fecs[j.fecIdx]
+				v := Violation{Packet: ws.Packet(ctx.enc.pv), Classes: fec.Classes}
+				// Identify the disagreeing paths under the found model.
+				for pi, p := range fec.Paths {
+					if !ws.EvalInModel(j.pathIffs[pi]) {
+						v.Paths = append(v.Paths, p)
+					}
+				}
+				res.Violations = append(res.Violations, v)
+			}
+			ctx.witHits = append([]int(nil), hits...)
+			ctx.witnesses = append([]Violation(nil), res.Violations...)
+			recordSolverStats(o, &res.SolverStats, ws.Stats())
+			wp.end(obs.KV("violations", len(res.Violations)))
+		}
+	}
+
+	res.Conflicts = res.SolverStats.Conflicts
+	recordBuilderSize(o, ctx.enc)
+	o.Counter("check.fecs").Add(int64(res.FECs))
+	o.Counter("check.fecs.solved").Add(int64(res.SolvedFECs))
+	o.Counter("check.violations").Add(int64(len(res.Violations)))
+	root.SetAttr("consistent", res.Consistent)
+	root.End()
+	return res
+}
+
+// solveSequential scans the encoded queries in order on the engine's
+// persistent incremental solver, stopping at the first violation unless
+// FindAllViolations is set. Queries are built lazily, so an early stop
+// skips the encoding work for the remaining FECs.
+func (e *Engine) solveSequential(ctx *checkCtx, res *CheckResult, root *obs.Span, o *obs.Observer) []int {
 	sp := startPhase(root, res.Timings, "solve")
-	enc := newEncoder(e.Opts.UseTournament, o)
-	solver := smt.SolverOn(enc.b)
-	task := o.StartTask("check: FECs", int64(len(fecs)))
+	if ctx.seq == nil {
+		ctx.seq = smt.SolverOn(ctx.enc.b)
+	}
+	solver := ctx.seq
+	base := solver.Stats()
+	task := o.StartTask("check: FECs", int64(len(ctx.fecs)))
 	hist := o.Histogram("check.fec_solve_ns")
 
-	for _, fec := range fecs {
-		task.Add(1)
-		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
-			// Fast path: no differential rule overlaps this FEC, so by
-			// Theorem 4.1 the update cannot change its reachability.
-			continue
+	var hits []int
+	for ji := 0; ; ji++ {
+		if ji >= len(ctx.jobs) && !e.buildJob(ctx) {
+			break
 		}
-		viol := e.fecViolationFormula(enc, fec, encodeACLs)
-		if viol == smt.False {
-			continue
-		}
+		j := ctx.jobs[ji]
 		res.SolvedFECs++
 		var t1 time.Time
 		if hist != nil {
 			t1 = time.Now()
 		}
-		satisfiable := solver.Solve(enc.b.And(viol, enc.classPred(fec.Classes)))
+		satisfiable := solver.Decide(j.query)
 		if hist != nil {
 			hist.Observe(time.Since(t1).Nanoseconds())
 		}
+		task.Add(1)
 		if !satisfiable {
 			continue
 		}
-		res.Consistent = false
-		v := Violation{Packet: solver.Packet(enc.pv), Classes: fec.Classes}
-		// Identify the disagreeing paths under the found model.
-		for _, p := range fec.Paths {
-			d, dp := e.pathFormulas(enc, p, encodeACLs)
-			if !solver.EvalInModel(enc.b.Iff(d, dp)) {
-				v.Paths = append(v.Paths, p)
-			}
-		}
-		res.Violations = append(res.Violations, v)
+		hits = append(hits, ji)
 		if !e.Opts.FindAllViolations {
 			break
 		}
 	}
 	task.Done()
-	recordSolverStats(o, &res.SolverStats, solver.Stats())
-	res.Conflicts = res.SolverStats.Conflicts
-	recordBuilderSize(o, enc)
-	o.Counter("check.fecs").Add(int64(res.FECs))
-	o.Counter("check.fecs.solved").Add(int64(res.SolvedFECs))
-	o.Counter("check.violations").Add(int64(len(res.Violations)))
-	sp.end(obs.KV("solved", res.SolvedFECs), obs.KV("violations", len(res.Violations)))
-	root.SetAttr("consistent", res.Consistent)
-	root.End()
-	return res
+	recordSolverStats(o, &res.SolverStats, statsSince(solver.Stats(), base))
+	sp.end(obs.KV("solved", res.SolvedFECs), obs.KV("violations", len(hits)))
+	return hits
 }
 
 // fecTouchesDiff reports whether any differential rule can match traffic

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"jinjing/internal/acl"
@@ -88,8 +89,14 @@ type Options struct {
 	// iterations in the worst case. Exists only for the ablation bench;
 	// use together with a small MaxNeighborhoods.
 	DisableExpansion bool
-	// Workers > 1 fans the check primitive's per-FEC queries out across
-	// that many goroutines (each with an independent solver).
+	// Workers > 1 fans the solver loops of all three primitives out
+	// across that many goroutines: check's per-FEC Equation-3 queries
+	// (persistent forked-solver pool; see CheckParallel), fix's per-FEC
+	// neighborhood seeking, and generate's per-AEC synthesis. Results
+	// merge in deterministic FEC/AEC order, so verdicts, violations,
+	// fixing plans, and generated ACLs are byte-identical for every
+	// worker count (pinned by the differential fuzz harness and the CLI
+	// golden test).
 	Workers int
 	// Obs receives spans, metrics, and progress from every primitive.
 	// nil (the default) disables observability at zero cost: the no-op
@@ -131,6 +138,11 @@ type Engine struct {
 	paths   []topo.Path
 	classes []header.Prefix
 	fecs    []topo.FEC
+
+	// ckctx caches the check pipeline's derived state (differential
+	// rules, shared encoder, encoded per-FEC queries, persistent
+	// solvers) across Check calls on this engine; see checkCtx.
+	ckctx *checkCtx
 }
 
 // New builds an engine. after may equal before (for pure generate tasks).
@@ -229,23 +241,37 @@ func orPermitAll(a *acl.ACL) *acl.ACL {
 }
 
 // encoder caches ACL circuit encodings over a shared builder and
-// symbolic packet. Cache effectiveness is observable through the
-// encoder.cache.{hits,misses} counters (nil counters when metrics are
-// off).
+// symbolic packet. The cache is two-level: a pointer fast path, backed
+// by a canonical structural-fingerprint index so ACLs that are equal
+// rule-for-rule but reached through different pointers — the cloned but
+// unchanged bindings of an update, or one ACL template stamped across
+// many interfaces — are encoded exactly once. Fingerprint collisions
+// are resolved with acl.Equal. Cache effectiveness is observable
+// through the encoder.cache.{hits,misses} counters (nil counters when
+// metrics are off).
 type encoder struct {
 	b          *smt.Builder
 	pv         *smt.PacketVars
 	tournament bool
-	cache      map[*acl.ACL]smt.F
+	byPtr      map[*acl.ACL]smt.F
+	byFP       map[uint64][]fpEntry
 	hits       *obs.Counter
 	misses     *obs.Counter
+}
+
+// fpEntry is one fingerprint bucket member: a representative ACL (for
+// the Equal collision check) and its encoding.
+type fpEntry struct {
+	a *acl.ACL
+	f smt.F
 }
 
 func newEncoder(tournament bool, o *obs.Observer) *encoder {
 	b := smt.NewBuilder()
 	return &encoder{
 		b: b, pv: b.NewPacketVars(), tournament: tournament,
-		cache:  make(map[*acl.ACL]smt.F),
+		byPtr:  make(map[*acl.ACL]smt.F),
+		byFP:   make(map[uint64][]fpEntry),
 		hits:   o.Counter("encoder.cache.hits"),
 		misses: o.Counter("encoder.cache.misses"),
 	}
@@ -257,9 +283,17 @@ func (enc *encoder) encodeACL(a *acl.ACL) smt.F {
 	if a == nil {
 		return smt.True
 	}
-	if f, ok := enc.cache[a]; ok {
+	if f, ok := enc.byPtr[a]; ok {
 		enc.hits.Inc()
 		return f
+	}
+	fp := a.Fingerprint()
+	for _, e := range enc.byFP[fp] {
+		if e.a.Equal(a) {
+			enc.hits.Inc()
+			enc.byPtr[a] = e.f
+			return e.f
+		}
 	}
 	enc.misses.Inc()
 	var f smt.F
@@ -268,7 +302,8 @@ func (enc *encoder) encodeACL(a *acl.ACL) smt.F {
 	} else {
 		f = a.EncodeSeq(enc.b, enc.pv)
 	}
-	enc.cache[a] = f
+	enc.byPtr[a] = f
+	enc.byFP[fp] = append(enc.byFP[fp], fpEntry{a: a, f: f})
 	return f
 }
 
@@ -288,8 +323,17 @@ func (enc *encoder) classPred(classes []header.Prefix) smt.F {
 // experiment code and logs need no observer.
 type Timings map[string]time.Duration
 
+// timingsMu serializes Timings writes. Phase helpers normally run on
+// the primitive's goroutine, but nested spans (a verify check inside a
+// parallel fix, observers shared across engines) can end phases from
+// different goroutines; a single global mutex keeps the map type — and
+// with it the public API — unchanged.
+var timingsMu sync.Mutex
+
 func (t Timings) add(phase string, d time.Duration) {
+	timingsMu.Lock()
 	t[phase] += d
+	timingsMu.Unlock()
 }
 
 // String renders timings compactly with sorted phase keys, so

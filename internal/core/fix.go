@@ -103,49 +103,69 @@ func (e *Engine) Fix() (*FixResult, error) {
 	}
 
 	sp := startPhase(root, res.Timings, "solve")
-	enc := newEncoder(e.Opts.UseTournament, o)
-	solver := smt.SolverOn(enc.b)
 	iterations := o.Counter("fix.iterations")
 	fecs := e.FECs()
 	task := o.StartTask("fix: FECs", int64(len(fecs)))
 
-	for _, fec := range fecs {
-		task.Add(1)
-		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
-			continue
-		}
-		viol := e.fecViolationFormula(enc, fec, encodeACLs)
-		if viol == smt.False {
-			continue
-		}
-		base := enc.b.And(viol, enc.classPred(fec.Classes))
-		cons.priors = cons.priors[:0]
-		// Seek neighborhoods: find a counterexample, enlarge it, exclude
-		// it, repeat until the violation formula is exhausted (§4.2).
-		for len(res.Neighborhoods)+len(res.Unfixable) < maxN {
-			iterations.Inc()
-			if !solver.Solve(base) {
+	apply := func(out fecFixOutcome) error {
+		// Merge one FEC's entries in discovery order, honoring the
+		// global neighborhood budget.
+		iterations.Add(out.iters)
+		recordSolverStats(o, &res.SolverStats, out.seek)
+		for _, nb := range out.entries {
+			if len(res.Neighborhoods)+len(res.Unfixable) >= maxN {
 				break
 			}
-			h := solver.Packet(enc.pv)
-			var nb header.Match
-			if e.Opts.DisableExpansion {
-				nb = exactMatch(h)
-			} else {
-				nb = expandNeighborhood(h, fec, &cons)
+			recordSolverStats(o, &res.SolverStats, nb.stats)
+			if !nb.ok {
+				res.Unfixable = append(res.Unfixable, nb.nb)
+				continue
 			}
-			if err := e.fixNeighborhood(res, fixed, fec, nb, allowSet); err != nil {
+			res.Neighborhoods = append(res.Neighborhoods, nb.nb)
+			if err := applyFixActions(fixed, nb.actions); err != nil {
+				return err
+			}
+			res.Actions = append(res.Actions, nb.actions...)
+		}
+		return nil
+	}
+
+	// Each per-FEC sub-problem is independent (FEC destination classes
+	// are disjoint atoms, so cross-FEC neighborhoods never overlap) and
+	// solved on its own fresh builder and solvers, making every outcome a
+	// pure function of the FEC alone. Both execution modes use the same
+	// function and merge in FEC order, so the fixing plan is byte-for-byte
+	// identical for every worker count — the property the CLI golden test
+	// pins. (A budget-b prefix of a budget-maxN run equals the budget-b
+	// run: the seek loop's iterations don't depend on the budget.)
+	if workers := e.Opts.Workers; workers > 1 {
+		outcomes := make([]fecFixOutcome, len(fecs))
+		runParallel(workers, len(fecs), func(i int) {
+			outcomes[i] = e.fixFEC(fecs[i], diff, encodeACLs, &cons, allowSet, maxN)
+			task.Add(1)
+		})
+		for _, out := range outcomes {
+			if out.err != nil {
+				return nil, out.err
+			}
+			if err := apply(out); err != nil {
 				return nil, err
 			}
-			// Later neighborhoods must stay disjoint from this one, or
-			// their fixing rules would shadow each other.
-			cons.priors = append(cons.priors, nb)
-			base = enc.b.And(base, enc.b.MatchPred(enc.pv, nb).Not())
+		}
+	} else {
+		for _, fec := range fecs {
+			task.Add(1)
+			out := e.fixFEC(fec, diff, encodeACLs, &cons, allowSet,
+				maxN-len(res.Neighborhoods)-len(res.Unfixable))
+			if out.err != nil {
+				return nil, out.err
+			}
+			if err := apply(out); err != nil {
+				return nil, err
+			}
 		}
 	}
 	task.Done()
-	recordSolverStats(o, &res.SolverStats, solver.Stats())
-	recordBuilderSize(o, enc)
 	sp.end(obs.KV("neighborhoods", len(res.Neighborhoods)),
 		obs.KV("unfixable", len(res.Unfixable)))
 
@@ -209,11 +229,102 @@ func simplifyBounded(a *acl.ACL) *acl.ACL {
 	return fast
 }
 
-// fixNeighborhood solves the placement problem for one neighborhood
+// nbOutcome is the solved placement for one neighborhood: the fixing
+// actions (empty when the after decisions already suffice), or
+// ok=false when no placement exists under the allow constraints.
+type nbOutcome struct {
+	nb      header.Match
+	ok      bool
+	actions []FixAction
+	stats   sat.Stats
+}
+
+// fecFixOutcome is one FEC's complete fix sub-result: neighborhood
+// outcomes in discovery order plus the seeking solver's counters.
+type fecFixOutcome struct {
+	entries []nbOutcome
+	iters   int64
+	seek    sat.Stats
+	err     error
+}
+
+// seekNeighborhoods runs the §4.2 loop for one FEC on the given shared
+// encoder and solver: find a counterexample, enlarge it, solve its
+// placement, exclude it, repeat until the violation formula is
+// exhausted or budget outcomes have accumulated. It only reads engine
+// state, so it is safe to call from worker goroutines as long as each
+// worker owns its encoder and solver.
+func (e *Engine) seekNeighborhoods(fec topo.FEC, diff []acl.Rule, encodeACLs map[string][2]*acl.ACL, consBase *constancy, allowSet map[string]bool, budget int, enc *encoder, solver *smt.Solver) fecFixOutcome {
+	var out fecFixOutcome
+	if budget <= 0 {
+		return out
+	}
+	if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
+		return out
+	}
+	viol := e.fecViolationFormula(enc, fec, encodeACLs)
+	if viol == smt.False {
+		return out
+	}
+	seekBase := solver.Stats()
+	base := enc.b.And(viol, enc.classPred(fec.Classes))
+	consBase.priors = consBase.priors[:0]
+	for len(out.entries) < budget {
+		out.iters++
+		if !solver.Solve(base) {
+			break
+		}
+		h := solver.Packet(enc.pv)
+		var nb header.Match
+		if e.Opts.DisableExpansion {
+			nb = exactMatch(h)
+		} else {
+			nb = expandNeighborhood(h, fec, consBase)
+		}
+		o, err := e.solveNeighborhood(fec, nb, allowSet)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		out.entries = append(out.entries, o)
+		// Later neighborhoods must stay disjoint from this one, or
+		// their fixing rules would shadow each other.
+		consBase.priors = append(consBase.priors, nb)
+		base = enc.b.And(base, enc.b.MatchPred(enc.pv, nb).Not())
+	}
+	out.seek = statsSince(solver.Stats(), seekBase)
+	return out
+}
+
+// fixFEC runs seekNeighborhoods for one FEC on a fresh encoder,
+// builder, and solver, plus a private constancy view (shared read-only
+// ACL/control/bound data, local priors). With no shared mutable state,
+// the outcome is a pure function of the FEC — independent of the other
+// FECs, of scheduling, and of worker count — which is what makes the
+// sequential and parallel fix plans identical.
+func (e *Engine) fixFEC(fec topo.FEC, diff []acl.Rule, encodeACLs map[string][2]*acl.ACL, consBase *constancy, allowSet map[string]bool, budget int) fecFixOutcome {
+	if budget <= 0 || (e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff)) {
+		// Skip before paying for the per-FEC builder.
+		return fecFixOutcome{}
+	}
+	cons := constancy{
+		acls: consBase.acls, ctrls: consBase.ctrls,
+		dstLos: consBase.dstLos, dstHis: consBase.dstHis,
+		srcLos: consBase.srcLos, srcHis: consBase.srcHis,
+	}
+	enc := newEncoder(e.Opts.UseTournament, e.obsv())
+	solver := smt.SolverOn(enc.b)
+	return e.seekNeighborhoods(fec, diff, encodeACLs, &cons, allowSet, budget, enc, solver)
+}
+
+// solveNeighborhood solves the placement problem for one neighborhood
 // (Equations 3 and 7): find per-binding decisions D_{[h]_N}(ξ) on the
-// FEC's paths that restore the desired decision, minimizing the number of
-// bindings changed, honoring the allow constraints.
-func (e *Engine) fixNeighborhood(res *FixResult, fixed *topo.Network, fec topo.FEC, nb header.Match, allowSet map[string]bool) error {
+// FEC's paths that restore the desired decision, minimizing the number
+// of bindings changed, honoring the allow constraints. It reads only
+// immutable engine state and returns the plan instead of applying it,
+// so sequential and parallel fix paths share it.
+func (e *Engine) solveNeighborhood(fec topo.FEC, nb header.Match, allowSet map[string]bool) (nbOutcome, error) {
+	out := nbOutcome{nb: nb}
 	s := smt.NewSolver()
 	b := s.B
 
@@ -255,7 +366,7 @@ func (e *Engine) fixNeighborhood(res *FixResult, fixed *topo.Network, fec topo.F
 	for _, id := range varIDs {
 		bind, err := lookupBinding(e.After, id)
 		if err != nil {
-			return err
+			return out, err
 		}
 		afterDec := decideOn(bindingACL(e.After, bind), nb)
 		if afterDec == acl.Permit {
@@ -265,25 +376,33 @@ func (e *Engine) fixNeighborhood(res *FixResult, fixed *topo.Network, fec topo.F
 		}
 	}
 	_, ok := s.SolveMinimize(costs)
-	recordSolverStats(e.obsv(), &res.SolverStats, s.Stats())
+	out.stats = s.Stats()
 	if !ok {
-		res.Unfixable = append(res.Unfixable, nb)
-		return nil
+		return out, nil
 	}
-
-	res.Neighborhoods = append(res.Neighborhoods, nb)
+	out.ok = true
 	for _, id := range varIDs {
 		bind, err := lookupBinding(e.After, id)
 		if err != nil {
-			return err
+			return out, err
 		}
 		afterDec := decideOn(bindingACL(e.After, bind), nb)
 		got := acl.Action(s.Value(vars[id]))
 		if got == afterDec {
 			continue
 		}
-		rule := acl.Rule{Action: got, Match: nb}
-		fb, err := lookupBinding(fixed, id)
+		out.actions = append(out.actions, FixAction{BindingID: id, Rule: acl.Rule{Action: got, Match: nb}})
+	}
+	return out, nil
+}
+
+// applyFixActions prepends each action's rule to its binding's ACL on
+// the fixed snapshot. Placement solving reads only the Before/After
+// snapshots, never the fixed one, so deferring application to merge
+// time is equivalent to the sequential apply-as-you-go order.
+func applyFixActions(fixed *topo.Network, actions []FixAction) error {
+	for _, a := range actions {
+		fb, err := lookupBinding(fixed, a.BindingID)
 		if err != nil {
 			return err
 		}
@@ -291,9 +410,8 @@ func (e *Engine) fixNeighborhood(res *FixResult, fixed *topo.Network, fec topo.F
 		if cur == nil {
 			cur = acl.PermitAll()
 		}
-		cur.Rules = append([]acl.Rule{rule}, cur.Rules...)
+		cur.Rules = append([]acl.Rule{a.Rule}, cur.Rules...)
 		fb.Iface.SetACL(fb.Dir, cur)
-		res.Actions = append(res.Actions, FixAction{BindingID: id, Rule: rule})
 	}
 	return nil
 }

@@ -1,0 +1,480 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/core"
+	"jinjing/internal/header"
+	"jinjing/internal/papernet"
+	"jinjing/internal/topo"
+)
+
+// This file is the differential fuzz harness for the parallel execution
+// layer: random small networks plus random ACL edits, with Check,
+// CheckParallel at several worker counts, and the monolithic baseline
+// required to agree. Any divergence between the sequential scan and the
+// forked-worker pool — a stale cache entry, a clause database corrupted
+// by Clone, a scheduling-dependent witness — shows up as a verdict or
+// violation-set mismatch here.
+
+// fuzzPrefix returns destination class i of the fuzz vocabulary:
+// (10+i).0.0.0/8.
+func fuzzPrefix(i int) header.Prefix {
+	return header.Prefix{Addr: uint32(10+i) << 24, Len: 8}
+}
+
+// fuzzNet builds a random layered network: 2–3 layers of 1–2 devices,
+// every consecutive pair of layers fully linked, traffic entering at
+// dangling interfaces on the first layer and leaving at dangling
+// interfaces on the last. Forwarding tables route every vocabulary
+// prefix (with occasional /9 splits for LPM divergence) to a random
+// non-empty subset of downstream interfaces, and random small ACLs are
+// attached to a subset of bindings.
+func fuzzNet(r *rand.Rand, ports bool) (*topo.Network, *topo.Scope, int) {
+	n := topo.NewNetwork()
+	nLayers := 2 + r.Intn(2)
+	nPref := 3 + r.Intn(3)
+
+	var layers [][]*topo.Device
+	var names []string
+	for l := 0; l < nLayers; l++ {
+		var layer []*topo.Device
+		for k := 0; k < 1+r.Intn(2); k++ {
+			name := fmt.Sprintf("L%dD%d", l, k)
+			layer = append(layer, n.Device(name))
+			names = append(names, name)
+		}
+		layers = append(layers, layer)
+	}
+
+	// Entry interfaces: dangling on the first layer.
+	var entries []string
+	for _, d := range layers[0] {
+		d.Interface("e")
+		entries = append(entries, d.Name+":e")
+	}
+	// Links: every device in layer l to every device in layer l+1.
+	downs := make(map[string][]*topo.Interface)
+	for l := 0; l+1 < nLayers; l++ {
+		for _, u := range layers[l] {
+			for j, v := range layers[l+1] {
+				ui := u.Interface(fmt.Sprintf("d%d", j))
+				vi := v.Interface("u" + u.Name)
+				n.AddLink(ui, vi)
+				downs[u.Name] = append(downs[u.Name], ui)
+			}
+		}
+	}
+	// Exit interfaces: dangling on the last layer.
+	for _, d := range layers[nLayers-1] {
+		downs[d.Name] = append(downs[d.Name], d.Interface("x"))
+	}
+
+	// Forwarding: each device routes every vocabulary prefix to a random
+	// non-empty subset of its downstream interfaces; sometimes one half
+	// of a prefix is routed differently (a /9 LPM split).
+	for _, layer := range layers {
+		for _, d := range layer {
+			outs := downs[d.Name]
+			for i := 0; i < nPref; i++ {
+				p := fuzzPrefix(i)
+				d.AddRoute(p, outs[r.Intn(len(outs))])
+				for _, o := range outs {
+					if r.Intn(4) == 0 {
+						d.AddRoute(p, o)
+					}
+				}
+				if len(outs) > 1 && r.Intn(3) == 0 {
+					half, _ := p.Halves()
+					d.AddRoute(half, outs[r.Intn(len(outs))])
+				}
+			}
+		}
+	}
+
+	// ACLs on a random subset of bindings.
+	for _, layer := range layers {
+		for _, d := range layer {
+			for _, i := range d.SortedInterfaces() {
+				for _, dir := range []topo.Direction{topo.In, topo.Out} {
+					if r.Intn(3) != 0 {
+						continue
+					}
+					i.SetACL(dir, fuzzACL(r, nPref, ports))
+				}
+			}
+		}
+	}
+
+	return n, topo.NewScope(names...).WithEntries(entries...), nPref
+}
+
+// fuzzACL builds a random ACL of 1–4 rules over the fuzz vocabulary.
+func fuzzACL(r *rand.Rand, nPref int, ports bool) *acl.ACL {
+	a := &acl.ACL{Default: acl.Action(r.Intn(4) != 0)} // bias to permit-all default
+	for k := 0; k < 1+r.Intn(4); k++ {
+		a.Rules = append(a.Rules, fuzzRule(r, nPref, ports))
+	}
+	return a
+}
+
+// fuzzRule builds one random rule: a vocabulary destination (sometimes
+// halved), and — when ports is set — occasionally a port or protocol
+// constraint. The fix fuzz keeps rules destination-only: port-dimension
+// neighborhood expansion is exercised separately and makes random
+// instances disproportionately expensive.
+func fuzzRule(r *rand.Rand, nPref int, ports bool) acl.Rule {
+	m := header.MatchAll
+	m.Dst = fuzzPrefix(r.Intn(nPref))
+	if r.Intn(3) == 0 {
+		lo, hi := m.Dst.Halves()
+		if r.Intn(2) == 0 {
+			m.Dst = lo
+		} else {
+			m.Dst = hi
+		}
+	}
+	if ports {
+		switch r.Intn(4) {
+		case 0:
+			m.DstPort = header.PortRange{Lo: 80, Hi: 80}
+		case 1:
+			m.DstPort = header.PortRange{Lo: 1024, Hi: 2048}
+		}
+		if r.Intn(4) == 0 {
+			m.Proto = header.Proto(6)
+		}
+	}
+	return acl.Rule{Action: acl.Action(r.Intn(2) == 0), Match: m}
+}
+
+// fuzzEdit applies 1–3 random ACL edits to the network: flip a rule
+// action, delete a rule, insert a random rule, or attach a fresh ACL to
+// an unbound interface.
+func fuzzEdit(r *rand.Rand, n *topo.Network, nPref int, ports bool) {
+	type slot struct {
+		iface *topo.Interface
+		dir   topo.Direction
+	}
+	var bound, unbound []slot
+	for _, d := range n.SortedDevices() {
+		for _, i := range d.SortedInterfaces() {
+			for _, dir := range []topo.Direction{topo.In, topo.Out} {
+				if i.ACL(dir) != nil {
+					bound = append(bound, slot{i, dir})
+				} else {
+					unbound = append(unbound, slot{i, dir})
+				}
+			}
+		}
+	}
+	for e := 0; e < 1+r.Intn(3); e++ {
+		if len(bound) == 0 || (len(unbound) > 0 && r.Intn(4) == 0) {
+			s := unbound[r.Intn(len(unbound))]
+			s.iface.SetACL(s.dir, fuzzACL(r, nPref, ports))
+			continue
+		}
+		s := bound[r.Intn(len(bound))]
+		a := s.iface.ACL(s.dir)
+		switch r.Intn(3) {
+		case 0:
+			if len(a.Rules) > 0 {
+				k := r.Intn(len(a.Rules))
+				a.Rules[k].Action = !a.Rules[k].Action
+			}
+		case 1:
+			if len(a.Rules) > 0 {
+				k := r.Intn(len(a.Rules))
+				a.Rules = append(a.Rules[:k], a.Rules[k+1:]...)
+			}
+		case 2:
+			rule := fuzzRule(r, nPref, ports)
+			pos := r.Intn(len(a.Rules) + 1)
+			a.Rules = append(a.Rules[:pos], append([]acl.Rule{rule}, a.Rules[pos:]...)...)
+		}
+	}
+}
+
+// checkSignature canonicalizes a check result: the verdict plus, per
+// violation, the counterexample packet, the FEC's classes, and the
+// divergent paths. Sequential and parallel runs must produce the same
+// signature byte for byte — the witness pass is deterministic by
+// construction, so this also locks in counterexample stability across
+// worker counts.
+func checkSignature(res *core.CheckResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "consistent=%v\n", res.Consistent)
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "pkt=%v classes=%v paths=[", v.Packet, v.Classes)
+		for _, p := range v.Paths {
+			b.WriteString(p.Key())
+			b.WriteString(" ")
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// fecSet extracts the violating FEC identities (their class sets).
+func fecSet(res *core.CheckResult) map[string]bool {
+	out := make(map[string]bool)
+	for _, v := range res.Violations {
+		out[fmt.Sprint(v.Classes)] = true
+	}
+	return out
+}
+
+// TestFuzzCheckParallelAgreement is the differential fuzz harness:
+// for each random case, Check (sequential), CheckParallel at 2, 4, and
+// 8 workers, and CheckMonolithic must agree on the consistency verdict
+// and on the set of violating FECs; the sequential and parallel
+// pipelines must additionally agree on the exact counterexamples.
+func TestFuzzCheckParallelAgreement(t *testing.T) {
+	cases := 220
+	if testing.Short() {
+		cases = 30
+	}
+	r := rand.New(rand.NewSource(1729))
+	inconsistent := 0
+	for iter := 0; iter < cases; iter++ {
+		before, scope, nPref := fuzzNet(r, true)
+		after := before.Clone()
+		fuzzEdit(r, after, nPref, true)
+
+		opts := core.DefaultOptions()
+		opts.FindAllViolations = true
+		opts.UseDifferential = iter%2 == 0
+		opts.UseTournament = iter%3 == 0
+
+		seq := core.New(before, after, scope, opts).Check()
+		want := checkSignature(seq)
+		wantFECs := fecSet(seq)
+		if !seq.Consistent {
+			inconsistent++
+		}
+
+		for _, workers := range []int{2, 4, 8} {
+			// Fresh engine per worker count: the point is that a cold
+			// parallel pipeline reproduces the sequential result, not that
+			// one engine is self-consistent.
+			par := core.New(before, after, scope, opts).CheckParallel(workers)
+			if got := checkSignature(par); got != want {
+				t.Fatalf("case %d: CheckParallel(%d) diverged from Check\nseq:\n%s\npar:\n%s",
+					iter, workers, want, got)
+			}
+			if gotFECs := fecSet(par); len(gotFECs) != len(wantFECs) {
+				t.Fatalf("case %d: CheckParallel(%d) violating FEC set %v != %v",
+					iter, workers, gotFECs, wantFECs)
+			}
+			if par.SolvedFECs != seq.SolvedFECs {
+				t.Fatalf("case %d: CheckParallel(%d) SolvedFECs=%d, sequential=%d",
+					iter, workers, par.SolvedFECs, seq.SolvedFECs)
+			}
+		}
+
+		// A warm engine mixing both call patterns must agree too: the
+		// cached encoder, job list, and pooled solvers are shared state.
+		warm := core.New(before, after, scope, opts)
+		if got := checkSignature(warm.CheckParallel(4)); got != want {
+			t.Fatalf("case %d: warm CheckParallel(4) diverged:\n%s\nwant:\n%s", iter, got, want)
+		}
+		if got := checkSignature(warm.Check()); got != want {
+			t.Fatalf("case %d: Check after CheckParallel diverged:\n%s\nwant:\n%s", iter, got, want)
+		}
+
+		mono := core.New(before, after, scope, opts).CheckMonolithic()
+		if mono.Consistent != seq.Consistent {
+			t.Fatalf("case %d: CheckMonolithic=%v, Check=%v", iter, mono.Consistent, seq.Consistent)
+		}
+	}
+	if inconsistent == 0 {
+		t.Fatal("fuzz generator produced no inconsistent case; edits too weak to exercise violations")
+	}
+	t.Logf("%d cases, %d inconsistent", cases, inconsistent)
+}
+
+// TestFuzzFirstViolationAgreement covers the FindAllViolations=false
+// path, whose parallel variant uses the min-hit early-exit: the first
+// violating FEC (and its counterexample) must match the sequential scan.
+func TestFuzzFirstViolationAgreement(t *testing.T) {
+	cases := 80
+	if testing.Short() {
+		cases = 12
+	}
+	r := rand.New(rand.NewSource(4104))
+	for iter := 0; iter < cases; iter++ {
+		before, scope, nPref := fuzzNet(r, true)
+		after := before.Clone()
+		fuzzEdit(r, after, nPref, true)
+
+		opts := core.DefaultOptions()
+		opts.FindAllViolations = false
+		opts.UseDifferential = iter%2 == 0
+
+		seq := core.New(before, after, scope, opts).Check()
+		want := checkSignature(seq)
+		for _, workers := range []int{2, 8} {
+			par := core.New(before, after, scope, opts).CheckParallel(workers)
+			if got := checkSignature(par); got != want {
+				t.Fatalf("case %d: first-violation CheckParallel(%d) diverged\nseq:\n%s\npar:\n%s",
+					iter, workers, want, got)
+			}
+			if par.SolvedFECs != seq.SolvedFECs {
+				t.Fatalf("case %d: CheckParallel(%d) SolvedFECs=%d, sequential=%d",
+					iter, workers, par.SolvedFECs, seq.SolvedFECs)
+			}
+		}
+	}
+}
+
+// TestFixParallelMatchesSequential is the fix property test: on random
+// failure injections, the sequential and parallel fix paths must both
+// verify, and their fixing plans must be semantically equivalent — the
+// two fixed snapshots decide identically on every FEC (checked by
+// running the consistency check between them). Fix must also be
+// idempotent: re-fixing a fixed snapshot is a verified no-op.
+func TestFixParallelMatchesSequential(t *testing.T) {
+	iters := 14
+	if testing.Short() {
+		iters = 4
+	}
+	r := rand.New(rand.NewSource(77))
+	fixedCount := 0
+	for iter := 0; iter < iters; iter++ {
+		before, after := perturbFigure1(r, 1+r.Intn(3))
+		mk := func(workers int) *core.Engine {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			e := core.New(before, after, papernet.Scope(), opts)
+			for _, d := range before.SortedDevices() {
+				for _, i := range d.SortedInterfaces() {
+					e.Allow = append(e.Allow,
+						topo.ACLBinding{Iface: i, Dir: topo.In},
+						topo.ACLBinding{Iface: i, Dir: topo.Out})
+				}
+			}
+			return e
+		}
+		if mk(1).Check().Consistent {
+			continue
+		}
+		fixedCount++
+
+		sres, err := mk(1).Fix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := mk(4).Fix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sres.Verified || !pres.Verified {
+			t.Fatalf("iter %d: verified seq=%v par=%v", iter, sres.Verified, pres.Verified)
+		}
+		if len(sres.Unfixable) != 0 || len(pres.Unfixable) != 0 {
+			t.Fatalf("iter %d: unfixable seq=%v par=%v", iter, sres.Unfixable, pres.Unfixable)
+		}
+		if len(sres.Neighborhoods) != len(pres.Neighborhoods) {
+			t.Fatalf("iter %d: neighborhood count seq=%d par=%d",
+				iter, len(sres.Neighborhoods), len(pres.Neighborhoods))
+		}
+		// Exact plan equality: both paths solve each FEC with the same
+		// pure per-FEC function and merge in FEC order, so the plans are
+		// identical action for action — the guarantee the CLI golden test
+		// observes end to end.
+		if len(sres.Actions) != len(pres.Actions) {
+			t.Fatalf("iter %d: action count seq=%d par=%d",
+				iter, len(sres.Actions), len(pres.Actions))
+		}
+		for i := range sres.Actions {
+			if sres.Actions[i].String() != pres.Actions[i].String() {
+				t.Fatalf("iter %d: action %d differs: seq=%v par=%v",
+					iter, i, sres.Actions[i], pres.Actions[i])
+			}
+		}
+		// Semantic equivalence: the two fixed snapshots are reachability-
+		// consistent with each other (per-FEC decision-equal).
+		eq := core.New(sres.Fixed, pres.Fixed, papernet.Scope(), core.DefaultOptions())
+		if res := eq.Check(); !res.Consistent {
+			t.Fatalf("iter %d: sequential and parallel fixed snapshots diverge: %v",
+				iter, res.Violations)
+		}
+
+		// Idempotence: the fixed snapshot needs no further fixing.
+		for _, res := range []*core.FixResult{sres, pres} {
+			reOpts := core.DefaultOptions()
+			re := core.New(before, res.Fixed, papernet.Scope(), reOpts)
+			rres, err := re.Fix()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rres.Actions) != 0 || len(rres.Neighborhoods) != 0 || !rres.Verified {
+				t.Fatalf("iter %d: re-fix not a no-op: actions=%v neighborhoods=%v verified=%v",
+					iter, rres.Actions, rres.Neighborhoods, rres.Verified)
+			}
+		}
+	}
+	if fixedCount == 0 {
+		t.Fatal("failure injection never produced an inconsistency")
+	}
+}
+
+// TestFuzzFixOnRandomNetworks runs the fix equivalence property on the
+// random fuzz networks too (with every binding allowed): whenever both
+// paths fix, the results must be semantically equal.
+func TestFuzzFixOnRandomNetworks(t *testing.T) {
+	cases := 40
+	if testing.Short() {
+		cases = 6
+	}
+	r := rand.New(rand.NewSource(271828))
+	compared := 0
+	for iter := 0; iter < cases; iter++ {
+		before, scope, nPref := fuzzNet(r, false)
+		after := before.Clone()
+		fuzzEdit(r, after, nPref, false)
+
+		mk := func(workers int) *core.Engine {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			e := core.New(before, after, scope, opts)
+			for _, d := range before.SortedDevices() {
+				for _, i := range d.SortedInterfaces() {
+					e.Allow = append(e.Allow,
+						topo.ACLBinding{Iface: i, Dir: topo.In},
+						topo.ACLBinding{Iface: i, Dir: topo.Out})
+				}
+			}
+			return e
+		}
+		if mk(1).Check().Consistent {
+			continue
+		}
+		sres, err := mk(1).Fix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := mk(4).Fix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Verified != pres.Verified {
+			t.Fatalf("case %d: verified seq=%v par=%v", iter, sres.Verified, pres.Verified)
+		}
+		if !sres.Verified {
+			continue // honestly unfixable under the allow set; both agreed
+		}
+		compared++
+		eq := core.New(sres.Fixed, pres.Fixed, scope, core.DefaultOptions())
+		if res := eq.Check(); !res.Consistent {
+			t.Fatalf("case %d: fixed snapshots diverge: %v", iter, res.Violations)
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no random-network fix instance verified; generator too restrictive")
+	}
+}

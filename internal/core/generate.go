@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
@@ -118,12 +119,22 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 	res.AECs = len(aecs)
 	dp.end(obs.KV("classes", res.Classes), obs.KV("aecs", res.AECs))
 
-	// Phase 2: solve each AEC, falling back to DECs (§5.2, §5.3).
+	// Phase 2: solve each AEC, falling back to DECs (§5.2, §5.3). Each
+	// AEC is solved on its own fresh solver, a pure function of the AEC,
+	// so with Options.Workers > 1 the loop fans out across goroutines
+	// and — after the deterministic AEC-order merge below — produces
+	// output identical to the sequential loop.
 	sp := startPhase(root, res.Timings, "solve")
 	task := o.StartTask("generate: AECs", int64(len(aecs)))
 	paths := e.Paths()
+	var fwdMu sync.Mutex
 	fwdCache := map[header.Prefix][]topo.Path{}
 	fwdFor := func(dst header.Prefix) []topo.Path {
+		// The memo is keyed by destination prefix and its values are
+		// deterministic, so it doesn't matter which worker fills an
+		// entry first.
+		fwdMu.Lock()
+		defer fwdMu.Unlock()
 		if p, ok := fwdCache[dst]; ok {
 			return p
 		}
@@ -131,16 +142,21 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 		fwdCache[dst] = p
 		return p
 	}
-	for _, a := range aecs {
-		task.Add(1)
+	type aecOutcome struct {
+		decSplit   bool
+		stats      sat.Stats
+		unsolvable []header.Match
+	}
+	solveOne := func(a *aec) aecOutcome {
+		var out aecOutcome
 		ok, st := e.solveAEC(a, paths, encIdx, srcSet, tgtSet, targetIDs)
-		recordSolverStats(o, &res.SolverStats, st)
+		out.stats.Add(st)
 		if ok {
 			a.solved = true
-			continue
+			return out
 		}
 		// DEC split: group the AEC's classes by forwarding behavior.
-		res.DECSplitAECs++
+		out.decSplit = true
 		groups := map[string]*decGroup{}
 		var order []string
 		for _, c := range a.classes {
@@ -162,14 +178,31 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 			g := groups[key]
 			sub := &aec{key: a.key, classes: g.classes, decisions: a.decisions, ctrlIn: a.ctrlIn}
 			ok, st := e.solveAEC(sub, g.paths, encIdx, srcSet, tgtSet, targetIDs)
-			recordSolverStats(o, &res.SolverStats, st)
+			out.stats.Add(st)
 			if !ok {
-				res.Unsolvable = append(res.Unsolvable, g.classes...)
+				out.unsolvable = append(out.unsolvable, g.classes...)
 				continue
 			}
 			g.dec = sub.dec
 			a.decs = append(a.decs, g)
 		}
+		return out
+	}
+	outcomes := make([]aecOutcome, len(aecs))
+	workers := e.Opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	runParallel(workers, len(aecs), func(i int) {
+		outcomes[i] = solveOne(aecs[i])
+		task.Add(1)
+	})
+	for _, out := range outcomes {
+		recordSolverStats(o, &res.SolverStats, out.stats)
+		if out.decSplit {
+			res.DECSplitAECs++
+		}
+		res.Unsolvable = append(res.Unsolvable, out.unsolvable...)
 	}
 	task.Done()
 	res.Conflicts = res.SolverStats.Conflicts

@@ -10,170 +10,299 @@ import (
 	"jinjing/internal/obs"
 	"jinjing/internal/sat"
 	"jinjing/internal/smt"
+	"jinjing/internal/topo"
 )
 
-// CheckParallel is Check with the per-FEC SAT queries fanned out across
-// workers. All formulas are encoded once on a shared (then-immutable)
-// builder; each worker owns an independent SAT solver and lazily
-// clausifies the query cones it touches. Unlike Check, the parallel
-// version examines every differential-touched FEC even when the first
-// violation would suffice; violations come back in deterministic FEC
-// order.
-//
-// Use this only when per-FEC solving dominates: every worker clausifies
-// the shared ACL encodings into its own solver, a per-worker fixed cost.
-// On the evaluation WANs — whose queries are easy after the differential
-// reduction — that overhead exceeds the parallel gain, and
-// BenchmarkCheckParallelWAN records exactly that; the knob exists for
-// adversarial rule sets where individual Equation-3 queries are hard.
-func (e *Engine) CheckParallel(workers int) *CheckResult {
-	if workers <= 1 {
-		return e.checkSequential()
-	}
-	o := e.obsv()
-	root := e.startSpan("check", obs.KV("mode", "parallel"), obs.KV("workers", workers))
-	res := &CheckResult{Consistent: true, Timings: Timings{}}
+// checkJob is one encoded Equation-3 query: the violation formula of a
+// single FEC conjoined with its class predicate, plus the per-path
+// decision equivalences used to attribute a counterexample to paths.
+type checkJob struct {
+	fecIdx   int
+	query    smt.F
+	pathIffs []smt.F
+}
 
-	pre := startPhase(root, res.Timings, "preprocess")
+// checkCtx is the check pipeline's cached state, kept on the engine so
+// repeated Check calls — and the mixed sequential/parallel calls of one
+// session — share one encoder, one job list, and warmed solvers. The
+// inputs it derives from (Before/After/Scope/Controls and the
+// correctness-relevant options) are immutable for an engine's lifetime,
+// which is what makes the caching sound.
+type checkCtx struct {
+	enc        *encoder
+	diff       []acl.Rule
+	encodeACLs map[string][2]*acl.ACL // binding ID -> {before, after}
+	fastPath   bool
+	diffRules  int
+	aclPairs   int
+
+	fecs []topo.FEC
+	// jobs grow monotonically in FEC order via buildJob; nextFEC is the
+	// first FEC index not yet examined. A sequential call that stopped at
+	// the first violation and a later parallel call therefore extend the
+	// same builder in the same global order, keeping node IDs — and with
+	// them witness models — identical across call patterns.
+	jobs    []checkJob
+	nextFEC int
+
+	// seq is the persistent sequential detection solver; proto is the
+	// fully clausified prototype the parallel workers fork from, with
+	// protoJobs counting the jobs already clausified into it; free pools
+	// idle worker forks for reuse by later parallel calls.
+	seq       *smt.Solver
+	proto     *smt.Solver
+	protoJobs int
+	free      []*smt.Solver
+
+	// witHits/witnesses memoize the witness pass: counterexamples are a
+	// pure function of (jobs, hits), so a repeat call whose violating
+	// job set is unchanged reuses them verbatim.
+	witHits   []int
+	witnesses []Violation
+}
+
+// equalHits reports whether the cached witness hit list matches (both
+// are ascending job indices; a nil cache never matches).
+func equalHits(cached, hits []int) bool {
+	if cached == nil || len(cached) != len(hits) {
+		return false
+	}
+	for i, h := range hits {
+		if cached[i] != h {
+			return false
+		}
+	}
+	return true
+}
+
+// checkContext returns the engine's cached check state, deriving it on
+// first use: Theorem 4.1 preprocessing (differential rules and
+// related-rule filtering) and the shared encoder.
+func (e *Engine) checkContext(o *obs.Observer) *checkCtx {
+	if e.ckctx != nil {
+		return e.ckctx
+	}
+	ctx := &checkCtx{}
 	pairs := e.scopeACLPairs()
-	var diff []acl.Rule
-	encodeACLs := make(map[string][2]*acl.ACL, len(pairs))
+	ctx.aclPairs = len(pairs)
+	ctx.encodeACLs = make(map[string][2]*acl.ACL, len(pairs))
 	if e.Opts.UseDifferential {
 		for _, p := range pairs {
-			diff = append(diff, acl.Differential(orPermitAll(p.before), orPermitAll(p.after))...)
+			ctx.diff = append(ctx.diff, acl.Differential(orPermitAll(p.before), orPermitAll(p.after))...)
 		}
+		// §6: control-related prefixes join the differential set so their
+		// related rules survive filtering.
 		for _, c := range e.Controls {
 			if !c.Match.IsAll() {
-				diff = append(diff, acl.Rule{Action: acl.Permit, Match: c.Match})
+				ctx.diff = append(ctx.diff, acl.Rule{Action: acl.Permit, Match: c.Match})
 			}
 		}
-		if len(diff) == 0 && len(e.Controls) == 0 {
-			pre.end(obs.KV("diff_rules", 0))
-			root.SetAttr("fast_path", true)
-			root.End()
-			return res
+		if len(ctx.diff) == 0 && len(e.Controls) == 0 {
+			ctx.fastPath = true
+			e.ckctx = ctx
+			return ctx
 		}
 		for _, p := range pairs {
-			encodeACLs[p.binding.ID()] = [2]*acl.ACL{
-				acl.Related(orPermitAll(p.before), diff),
-				acl.Related(orPermitAll(p.after), diff),
+			ctx.encodeACLs[p.binding.ID()] = [2]*acl.ACL{
+				acl.Related(orPermitAll(p.before), ctx.diff),
+				acl.Related(orPermitAll(p.after), ctx.diff),
 			}
 		}
 	} else {
 		for _, p := range pairs {
-			encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
+			ctx.encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
 		}
 	}
-	pre.end(obs.KV("diff_rules", len(diff)), obs.KV("acl_pairs", len(pairs)))
+	ctx.diffRules = len(ctx.diff)
+	ctx.enc = newEncoder(e.Opts.UseTournament, o)
+	e.ckctx = ctx
+	return ctx
+}
 
-	fp := startPhase(root, res.Timings, "fec")
-	fecs := e.FECs()
-	res.FECs = len(fecs)
-	fp.end(obs.KV("fecs", len(fecs)))
-
-	// Encode every query once on a single shared builder (the expensive
-	// part), so workers only solve: the builder is immutable while the
-	// workers run, and each worker owns its own SAT solver and Tseitin
-	// mapping over the shared node DAG.
-	ep := startPhase(root, res.Timings, "encode")
-	enc := newEncoder(e.Opts.UseTournament, o)
-	type job struct {
-		fecIdx   int
-		query    smt.F
-		pathIffs []smt.F
-	}
-	var jobs []job
-	for i, fec := range fecs {
-		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff) {
+// buildJob advances over the FECs until it has appended one more
+// encoded query (skipping FECs discharged by Theorem 4.1 or a
+// structurally unchanged violation formula), returning false when the
+// FECs are exhausted.
+func (e *Engine) buildJob(ctx *checkCtx) bool {
+	for ctx.nextFEC < len(ctx.fecs) {
+		i := ctx.nextFEC
+		ctx.nextFEC++
+		fec := ctx.fecs[i]
+		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff) {
+			// Fast path: no differential rule overlaps this FEC, so by
+			// Theorem 4.1 the update cannot change its reachability.
 			continue
 		}
-		viol := e.fecViolationFormula(enc, fec, encodeACLs)
+		viol := e.fecViolationFormula(ctx.enc, fec, ctx.encodeACLs)
 		if viol == smt.False {
 			continue
 		}
-		j := job{fecIdx: i, query: enc.b.And(viol, enc.classPred(fec.Classes))}
+		j := checkJob{fecIdx: i, query: ctx.enc.b.And(viol, ctx.enc.classPred(fec.Classes))}
 		for _, p := range fec.Paths {
-			d, dp := e.pathFormulas(enc, p, encodeACLs)
-			j.pathIffs = append(j.pathIffs, enc.b.Iff(d, dp))
+			d, dp := e.pathFormulas(ctx.enc, p, ctx.encodeACLs)
+			j.pathIffs = append(j.pathIffs, ctx.enc.b.Iff(d, dp))
 		}
-		jobs = append(jobs, j)
+		ctx.jobs = append(ctx.jobs, j)
+		return true
 	}
-	res.SolvedFECs = len(jobs)
-	recordBuilderSize(o, enc)
-	ep.end(obs.KV("jobs", len(jobs)))
+	return false
+}
+
+// solveParallel runs the detection queries across a pool of worker
+// solvers forked from a shared, fully clausified prototype. Returns the
+// ascending violating job indices (truncated to the first one when
+// FindAllViolations is off, matching the sequential scan exactly).
+func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, o *obs.Observer, workers int) []int {
+	// Encode: materialize every remaining query on the shared builder,
+	// which stays immutable while the workers run.
+	ep := startPhase(root, res.Timings, "encode")
+	for e.buildJob(ctx) {
+	}
+	ep.end(obs.KV("jobs", len(ctx.jobs)))
 
 	sp := startPhase(root, res.Timings, "solve")
-	task := o.StartTask("check: FECs", int64(len(jobs)))
-	hist := o.Histogram("check.fec_solve_ns")
-
-	type hit struct {
-		fecIdx int
-		v      Violation
+	// Clausify each query's cone once into the prototype; workers fork
+	// the resulting clause database instead of re-deriving it.
+	if ctx.proto == nil {
+		ctx.proto = smt.SolverOn(ctx.enc.b)
 	}
+	for _, j := range ctx.jobs[ctx.protoJobs:] {
+		ctx.proto.EnsureClausified(j.query)
+	}
+	ctx.protoJobs = len(ctx.jobs)
+	o.Gauge("smt.proto.clauses").Set(int64(ctx.proto.NumClauses()))
+
+	if workers > len(ctx.jobs) {
+		workers = len(ctx.jobs)
+	}
+	// Hand each worker a pooled solver when one is idle; the rest fork
+	// the prototype inside their own goroutine, so the clause-database
+	// copies — the dominant fixed cost of fanning out — run concurrently
+	// instead of serializing on the caller. Pool order is preserved
+	// across calls so worker w re-acquires the same solver it used last
+	// time; with the static find-all partition below, that solver's
+	// learned clauses are exactly the ones for the queries it is about
+	// to re-solve.
+	pool := make([]*smt.Solver, workers)
+	take := workers
+	if take > len(ctx.free) {
+		take = len(ctx.free)
+	}
+	copy(pool, ctx.free[:take])
+	ctx.free = append(ctx.free[:0], ctx.free[take:]...)
+
+	task := o.StartTask("check: FECs", int64(len(ctx.jobs)))
+	hist := o.Histogram("check.fec_solve_ns")
+	jobsHist := o.Histogram("check.worker_jobs")
+	findAll := e.Opts.FindAllViolations
 	var (
-		next     atomic.Int64
-		mu       sync.Mutex
-		aggStats sat.Stats
-		hits     []hit
-		wg       sync.WaitGroup
+		next   atomic.Int64
+		minHit atomic.Int64
+		mu     sync.Mutex
+		agg    sat.Stats
+		hits   []int
+		wg     sync.WaitGroup
 	)
-	for w := 0; w < workers; w++ {
+	minHit.Store(int64(len(ctx.jobs)))
+	for w := range pool {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			solver := smt.SolverOn(enc.b)
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= len(jobs) {
-					break
-				}
-				j := jobs[k]
+			solver := pool[w]
+			if solver == nil {
+				solver = ctx.proto.Fork()
+				pool[w] = solver
+			}
+			base := solver.Stats()
+			var nsolved int64
+			solveJob := func(k int) {
 				var t1 time.Time
 				if hist != nil {
 					t1 = time.Now()
 				}
-				satisfiable := solver.Solve(j.query)
+				satisfiable := solver.Decide(ctx.jobs[k].query)
 				if hist != nil {
 					hist.Observe(time.Since(t1).Nanoseconds())
 				}
+				nsolved++
 				task.Add(1)
 				if !satisfiable {
-					continue
-				}
-				fec := fecs[j.fecIdx]
-				v := Violation{Packet: solver.Packet(enc.pv), Classes: fec.Classes}
-				for pi, p := range fec.Paths {
-					if !solver.EvalInModel(j.pathIffs[pi]) {
-						v.Paths = append(v.Paths, p)
-					}
+					return
 				}
 				mu.Lock()
-				hits = append(hits, hit{fecIdx: j.fecIdx, v: v})
+				hits = append(hits, k)
 				mu.Unlock()
+				if !findAll {
+					for {
+						cur := minHit.Load()
+						if int64(k) >= cur || minHit.CompareAndSwap(cur, int64(k)) {
+							break
+						}
+					}
+				}
+			}
+			if findAll {
+				// Every job must be solved, so carve the job list into
+				// static contiguous slices: worker w re-solves the same
+				// slice on every call, and its persistent solver's learned
+				// clauses stay matched to its queries.
+				n := len(ctx.jobs)
+				for k := w * n / workers; k < (w+1)*n/workers; k++ {
+					solveJob(k)
+				}
+			} else {
+				// First-violation mode: pull jobs dynamically and skip
+				// everything past the lowest hit found so far — it cannot
+				// be the answer.
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(ctx.jobs) {
+						break
+					}
+					if int64(k) > minHit.Load() {
+						continue
+					}
+					solveJob(k)
+				}
 			}
 			mu.Lock()
-			aggStats.Add(solver.Stats())
+			agg.Add(statsSince(solver.Stats(), base))
 			mu.Unlock()
-		}()
+			if jobsHist != nil {
+				jobsHist.Observe(nsolved)
+			}
+		}(w)
 	}
 	wg.Wait()
 	task.Done()
+	ctx.free = append(ctx.free, pool...)
 
-	sort.Slice(hits, func(i, j int) bool { return hits[i].fecIdx < hits[j].fecIdx })
-	for _, h := range hits {
-		res.Consistent = false
-		res.Violations = append(res.Violations, h.v)
-		if !e.Opts.FindAllViolations {
-			break
-		}
+	sort.Ints(hits)
+	if !findAll && len(hits) > 1 {
+		hits = hits[:1]
 	}
-	recordSolverStats(o, &res.SolverStats, aggStats)
-	res.Conflicts = res.SolverStats.Conflicts
-	o.Counter("check.fecs").Add(int64(res.FECs))
-	o.Counter("check.fecs.solved").Add(int64(res.SolvedFECs))
-	o.Counter("check.violations").Add(int64(len(res.Violations)))
-	sp.end(obs.KV("solved", res.SolvedFECs), obs.KV("violations", len(res.Violations)))
-	root.SetAttr("consistent", res.Consistent)
-	root.End()
-	return res
+	// SolvedFECs is defined deterministically — the count the sequential
+	// scan would have decided — not the racy number of queries the
+	// workers happened to run.
+	if !findAll && len(hits) > 0 {
+		res.SolvedFECs = hits[0] + 1
+	} else {
+		res.SolvedFECs = len(ctx.jobs)
+	}
+	recordSolverStats(o, &res.SolverStats, agg)
+	sp.end(obs.KV("solved", res.SolvedFECs), obs.KV("violations", len(hits)))
+	return hits
+}
+
+// statsSince subtracts a baseline snapshot from cumulative solver
+// counters, so persistent solvers report per-call deltas.
+func statsSince(cur, base sat.Stats) sat.Stats {
+	return sat.Stats{
+		Decisions:    cur.Decisions - base.Decisions,
+		Propagations: cur.Propagations - base.Propagations,
+		Conflicts:    cur.Conflicts - base.Conflicts,
+		Restarts:     cur.Restarts - base.Restarts,
+		Learned:      cur.Learned - base.Learned,
+		Deleted:      cur.Deleted - base.Deleted,
+	}
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel runs fn(i) for each i in [0, n) across at most workers
+// goroutines, returning when all calls complete. Work is handed out by
+// an atomic counter, so callers writing to out[i]-style slots need no
+// further synchronization.
+func runParallel(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

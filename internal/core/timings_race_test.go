@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimingsConcurrentPhases is the regression test for the Timings
+// concurrent-write hazard: phase helpers may end phases from different
+// goroutines (nested verify checks under a parallel fix, observers
+// shared across engines), and Timings is a plain map, so the add path
+// must be serialized. Run under -race this fails immediately if the
+// mutex is ever removed.
+func TestTimingsConcurrentPhases(t *testing.T) {
+	tm := Timings{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"solve", "preprocess", "witness", "encode"}
+			for i := 0; i < 200; i++ {
+				p := startPhase(nil, tm, names[(w+i)%len(names)])
+				p.end()
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := time.Duration(0)
+	for _, d := range tm {
+		total += d
+	}
+	if len(tm) != 4 || total <= 0 {
+		t.Fatalf("expected 4 accumulated phases with positive total, got %v", tm)
+	}
+}
+
+// TestTimingsConcurrentWithReadView checks the String view is usable
+// right after concurrent accumulation finishes.
+func TestTimingsConcurrentWithReadView(t *testing.T) {
+	tm := Timings{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tm.add("solve", time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if tm["solve"] != 400*time.Nanosecond {
+		t.Fatalf("lost updates: solve = %v, want 400ns", tm["solve"])
+	}
+	if tm.String() == "" {
+		t.Fatal("empty timings view")
+	}
+}

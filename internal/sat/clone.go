@@ -1,0 +1,93 @@
+package sat
+
+// Clone returns an independent deep copy of the solver, so a fully
+// clausified "prototype" can be duplicated across worker goroutines
+// instead of each worker re-running Tseitin conversion and AddClause
+// level-0 simplification from scratch. Cloning is a few bulk copies
+// plus one pass over the clause database — far cheaper than rebuilding
+// it clause by clause.
+//
+// The clone shares nothing with the original: clause literal slices
+// live in a private arena, watch lists and the reason map are remapped
+// onto the copied clauses, and the VSIDS heap is rebuilt from the
+// copied activities. Stats start at zero so per-worker counters are not
+// polluted by whatever the prototype already solved.
+//
+// Clone must be called at decision level 0 (i.e. outside Solve); the
+// solver is always at level 0 between Solve calls.
+func (s *Solver) Clone() *Solver {
+	if s.decisionLevel() != 0 {
+		panic("sat: Clone called during solving")
+	}
+	c := &Solver{
+		assign:   append([]lbool(nil), s.assign...),
+		polarity: append([]bool(nil), s.polarity...),
+		level:    append([]int32(nil), s.level...),
+		trail:    append([]Lit(nil), s.trail...),
+		trailLim: append([]int32(nil), s.trailLim...),
+		qhead:    s.qhead,
+		activity: append([]float64(nil), s.activity...),
+		varInc:   s.varInc,
+		claInc:   s.claInc,
+		seen:     make([]bool, len(s.seen)),
+		ok:       s.ok,
+	}
+
+	// Deep-copy clauses into one arena so the copy is a single
+	// allocation. The arena is sized exactly, so the per-clause
+	// sub-slicing below never reallocates.
+	total := 0
+	for _, cl := range s.clauses {
+		total += len(cl.lits)
+	}
+	for _, cl := range s.learnts {
+		total += len(cl.lits)
+	}
+	arena := make([]Lit, 0, total)
+	nodes := make([]clause, len(s.clauses)+len(s.learnts))
+	remap := make(map[*clause]*clause, len(nodes))
+	copyClause := func(i int, cl *clause) *clause {
+		start := len(arena)
+		arena = append(arena, cl.lits...)
+		nodes[i] = clause{lits: arena[start:len(arena):len(arena)], learnt: cl.learnt, activity: cl.activity}
+		remap[cl] = &nodes[i]
+		return &nodes[i]
+	}
+	c.clauses = make([]*clause, len(s.clauses))
+	for i, cl := range s.clauses {
+		c.clauses[i] = copyClause(i, cl)
+	}
+	c.learnts = make([]*clause, len(s.learnts))
+	for i, cl := range s.learnts {
+		c.learnts[i] = copyClause(len(s.clauses)+i, cl)
+	}
+
+	// Remap reasons and rebuild the watch lists against the copies.
+	c.reason = make([]*clause, len(s.reason))
+	for v, r := range s.reason {
+		if r != nil {
+			c.reason[v] = remap[r]
+		}
+	}
+	c.watches = make([][]watcher, len(s.watches))
+	for l, ws := range s.watches {
+		if len(ws) == 0 {
+			continue
+		}
+		nws := make([]watcher, len(ws))
+		for i, w := range ws {
+			nws[i] = watcher{c: remap[w.c], blocker: w.blocker}
+		}
+		c.watches[l] = nws
+	}
+
+	// Rebuild the VSIDS order over the copied activity array. Pushing
+	// variables in ascending index keeps the heap layout deterministic.
+	c.order = newVarHeap(&c.activity)
+	for v := Var(0); int(v) < len(c.assign); v++ {
+		if s.order.inHeap(v) {
+			c.order.push(v)
+		}
+	}
+	return c
+}

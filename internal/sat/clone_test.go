@@ -1,0 +1,125 @@
+package sat
+
+import "testing"
+
+// pigeonhole builds the unsatisfiable PHP(n+1, n) instance, a standard
+// workout that forces real conflict analysis.
+func pigeonhole(s *Solver, pigeons, holes int) [][]Var {
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = Pos(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(Neg(vars[p1][h]), Neg(vars[p2][h]))
+			}
+		}
+	}
+	return vars
+}
+
+func TestCloneAgreesWithOriginal(t *testing.T) {
+	s := New()
+	vars := pigeonhole(s, 5, 5) // satisfiable: 5 pigeons, 5 holes
+
+	c := s.Clone()
+	if got := c.Stats; got != (Stats{}) {
+		t.Fatalf("clone stats not zeroed: %+v", got)
+	}
+	if !s.Solve() {
+		t.Fatal("original: PHP(5,5) should be SAT")
+	}
+	if !c.Solve() {
+		t.Fatal("clone: PHP(5,5) should be SAT")
+	}
+	// Same clause DB, same activities, same heap order: the clone's
+	// search is a replay of the original's.
+	for p := range vars {
+		for h := range vars[p] {
+			if s.ValueInModel(vars[p][h]) != c.ValueInModel(vars[p][h]) {
+				t.Fatalf("model mismatch at pigeon %d hole %d", p, h)
+			}
+		}
+	}
+
+	// UNSAT under assumptions must agree too.
+	assump := []Lit{Pos(vars[0][0]), Pos(vars[1][0])}
+	if s.Solve(assump...) || c.Solve(assump...) {
+		t.Fatal("two pigeons in one hole should be UNSAT")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(Pos(a), Pos(b))
+
+	c := s.Clone()
+	// Constrain only the clone; the original must be unaffected.
+	c.AddClause(Neg(a))
+	c.AddClause(Neg(b))
+	if c.Solve() {
+		t.Fatal("clone should be UNSAT after extra units")
+	}
+	if !s.Solve(Pos(a)) {
+		t.Fatal("original should still be SAT with a=true")
+	}
+
+	// And the other direction: growing the original leaves the clone
+	// alone.
+	s2 := New()
+	x := s2.NewVar()
+	s2.AddClause(Pos(x))
+	c2 := s2.Clone()
+	y := s2.NewVar()
+	s2.AddClause(Neg(x), Pos(y))
+	if got, want := s2.NumVars(), 2; got != want {
+		t.Fatalf("original vars = %d, want %d", got, want)
+	}
+	if got, want := c2.NumVars(), 1; got != want {
+		t.Fatalf("clone vars = %d, want %d", got, want)
+	}
+	if !c2.Solve() || !c2.ValueInModel(x) {
+		t.Fatal("clone lost the unit x")
+	}
+}
+
+func TestCloneUnsatSolver(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(Pos(v))
+	s.AddClause(Neg(v))
+	c := s.Clone()
+	if c.Okay() || c.Solve() {
+		t.Fatal("clone of a level-0-unsat solver must stay UNSAT")
+	}
+}
+
+func TestCloneCarriesLearnedClauses(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5) // UNSAT, generates learned clauses
+	if s.Solve() {
+		t.Fatal("PHP(6,5) should be UNSAT")
+	}
+	if len(s.learnts) == 0 {
+		t.Skip("no learned clauses survived; nothing to verify")
+	}
+	c := s.Clone()
+	if len(c.learnts) != len(s.learnts) {
+		t.Fatalf("clone learnts = %d, want %d", len(c.learnts), len(s.learnts))
+	}
+	if c.Solve() {
+		t.Fatal("clone should replay UNSAT")
+	}
+}

@@ -1,0 +1,89 @@
+package smt
+
+import (
+	"testing"
+
+	"jinjing/internal/header"
+)
+
+func TestForkSolvesIndependently(t *testing.T) {
+	proto := NewSolver()
+	b := proto.B
+	pv := b.NewPacketVars()
+	inTen := b.MatchPred(pv, header.Match{Dst: header.Prefix{Addr: 10 << 24, Len: 8}})
+	inTwenty := b.MatchPred(pv, header.Match{Dst: header.Prefix{Addr: 20 << 24, Len: 8}})
+	proto.EnsureClausified(inTen)
+	proto.EnsureClausified(inTwenty)
+	if proto.NumClauses() == 0 {
+		t.Fatal("EnsureClausified emitted no clauses")
+	}
+
+	f1 := proto.Fork()
+	f2 := proto.Fork()
+	// The forks solve different assumptions concurrently-usable state:
+	// neither asserting in one affects the other or the prototype.
+	if !f1.Solve(inTen) {
+		t.Fatal("fork1: dst in 10/8 should be SAT")
+	}
+	if got := f1.Packet(pv); got.DstIP>>24 != 10 {
+		t.Fatalf("fork1 packet dst = %v, want 10.x", got.DstIP)
+	}
+	if !f2.Solve(inTwenty) {
+		t.Fatal("fork2: dst in 20/8 should be SAT")
+	}
+	if f1.Solve(inTen, inTwenty) {
+		t.Fatal("dst cannot be in both 10/8 and 20/8")
+	}
+	f1.Assert(inTwenty)
+	if f1.Solve(inTen) {
+		t.Fatal("fork1 asserted 20/8; 10/8 assumption must now be UNSAT")
+	}
+	if !f2.Solve(inTen) {
+		t.Fatal("fork1's assertion leaked into fork2")
+	}
+	if !proto.Solve(inTen) {
+		t.Fatal("fork1's assertion leaked into the prototype")
+	}
+}
+
+func TestForkLazilyClausifiesNewCones(t *testing.T) {
+	proto := NewSolver()
+	b := proto.B
+	x := b.Var()
+	proto.EnsureClausified(x)
+	f := proto.Fork()
+	// A formula built after the fork: the fork must clausify it locally.
+	y := b.Var()
+	both := b.And(x, y)
+	if !f.Solve(both) {
+		t.Fatal("fork should satisfy x ∧ y")
+	}
+	if !f.Value(x) || !f.Value(y) {
+		t.Fatal("model should set both variables")
+	}
+	// The prototype never saw y's cone.
+	if proto.NumClauses() >= f.NumClauses() {
+		t.Fatalf("fork clauses (%d) should exceed prototype's (%d)", f.NumClauses(), proto.NumClauses())
+	}
+}
+
+func TestDecideMatchesSolve(t *testing.T) {
+	s := NewSolver()
+	b := s.B
+	x, y := b.Var(), b.Var()
+	s.Assert(b.Or(x, y))
+	if !s.Decide(x.Not()) {
+		t.Fatal("¬x should be SAT")
+	}
+	if s.Decide(x.Not(), y.Not()) {
+		t.Fatal("¬x ∧ ¬y should be UNSAT")
+	}
+	// Decide leaves no model behind.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value after Decide should panic (no model)")
+		}
+	}()
+	s.Decide(x)
+	s.Value(x)
+}

@@ -201,16 +201,15 @@ type Solver struct {
 	B *Builder
 
 	sat    *sat.Solver
-	satVar map[int32]sat.Var // formula node index -> SAT variable
+	satVar []sat.Var // formula node index -> SAT variable (-1 = not clausified)
 	model  map[F]bool
 }
 
 // NewSolver returns a Solver with a fresh Builder.
 func NewSolver() *Solver {
 	return &Solver{
-		B:      NewBuilder(),
-		sat:    sat.New(),
-		satVar: make(map[int32]sat.Var),
+		B:   NewBuilder(),
+		sat: sat.New(),
 	}
 }
 
@@ -225,8 +224,19 @@ func (s *Solver) litFor(f F) sat.Lit {
 }
 
 func (s *Solver) varFor(idx int32) sat.Var {
-	if v, ok := s.satVar[idx]; ok {
-		return v
+	if int(idx) < len(s.satVar) {
+		if v := s.satVar[idx]; v >= 0 {
+			return v
+		}
+	} else {
+		// Grow to the builder's current size in one step; nodes are only
+		// ever appended, so this amortizes to one fill per node.
+		grown := make([]sat.Var, len(s.B.nodes))
+		copy(grown, s.satVar)
+		for i := len(s.satVar); i < len(grown); i++ {
+			grown[i] = -1
+		}
+		s.satVar = grown
 	}
 	n := s.B.nodes[idx]
 	v := s.sat.NewVar()
@@ -243,6 +253,31 @@ func (s *Solver) varFor(idx int32) sat.Var {
 		s.sat.AddClause(sat.Pos(v), la.Not(), lb.Not())
 	}
 	return v
+}
+
+// EnsureClausified emits the Tseitin clauses for f's whole cone without
+// asserting anything, so the clauses exist before the solver is forked
+// to worker goroutines.
+func (s *Solver) EnsureClausified(f F) {
+	s.varFor(f.idx())
+}
+
+// NumClauses reports the problem-clause count of the underlying SAT
+// instance (after its level-0 simplification).
+func (s *Solver) NumClauses() int { return s.sat.NumClauses() }
+
+// Fork returns an independent copy of the solver sharing the (read-only
+// from here on, as far as the fork is concerned) Builder: the clause
+// database is deep-copied via sat.Clone instead of re-running Tseitin
+// conversion, which is what makes a pool of per-worker solvers cheaper
+// than clausifying once per worker. Fork must not be called while the
+// solver is inside Solve.
+func (s *Solver) Fork() *Solver {
+	return &Solver{
+		B:      s.B,
+		sat:    s.sat.Clone(),
+		satVar: append([]sat.Var(nil), s.satVar...),
+	}
 }
 
 // Assert permanently adds f to the solver's constraint set.
@@ -264,11 +299,24 @@ func (s *Solver) Solve(assumptions ...F) bool {
 	}
 	s.model = make(map[F]bool)
 	for idx, v := range s.satVar {
-		if s.B.nodes[idx].kind == kindVar {
-			s.model[mkF(idx, false)] = s.sat.ValueInModel(v)
+		if v >= 0 && s.B.nodes[idx].kind == kindVar {
+			s.model[mkF(int32(idx), false)] = s.sat.ValueInModel(v)
 		}
 	}
 	return true
+}
+
+// Decide is Solve without model extraction: it answers the SAT/UNSAT
+// question and discards the assignment. Detection loops that only need
+// the verdict (a later canonical pass re-derives the witnesses) use it
+// to skip the per-query model-map allocation.
+func (s *Solver) Decide(assumptions ...F) bool {
+	lits := make([]sat.Lit, len(assumptions))
+	for i, f := range assumptions {
+		lits[i] = s.litFor(f)
+	}
+	s.model = nil
+	return s.sat.Solve(lits...)
 }
 
 // Value returns variable f's value in the last model. Variables that
@@ -540,14 +588,14 @@ func AssignmentFor(pv *PacketVars, p header.Packet) map[F]bool {
 // SAT instance over the shared builder, so existing solver state is
 // untouched.
 func (b *Builder) Valid(f F) bool {
-	s := &Solver{B: b, sat: sat.New(), satVar: make(map[int32]sat.Var)}
+	s := SolverOn(b)
 	return !s.Solve(f.Not())
 }
 
 // SolverOn returns a fresh Solver over an existing Builder, sharing its
 // hash-consed DAG but with an independent constraint set.
 func SolverOn(b *Builder) *Solver {
-	return &Solver{B: b, sat: sat.New(), satVar: make(map[int32]sat.Var)}
+	return &Solver{B: b, sat: sat.New()}
 }
 
 // String renders a formula reference for debugging.
