@@ -22,9 +22,10 @@ test: vet
 	$(GO) test -short ./...
 	$(GO) test -race -short ./internal/core ./internal/sat ./internal/smt
 
-# Full suite: everything, including the §8 experiment tables (minutes).
+# Full suite: everything, including the §8 experiment tables with the
+# large WAN (tens of minutes on a single-core machine).
 test-full:
-	$(GO) test ./...
+	JINJING_EXPERIMENTS_LARGE=1 $(GO) test -timeout 30m ./...
 
 # Race-detector pass over the fast suite (CheckParallel, obs sinks).
 race:

@@ -148,6 +148,13 @@ type (
 	Report = core.Report
 	// Control is a resolved §6 reachability intent.
 	Control = core.Control
+	// VerdictCache caches per-FEC check verdicts across engines and
+	// snapshots, making re-checks after edits incremental (set
+	// Options.Verdicts).
+	VerdictCache = core.VerdictCache
+	// CacheStats reports one call's verdict-cache and pre-filter
+	// activity (see CheckResult.Stats / FixResult.Stats).
+	CacheStats = core.CacheStats
 )
 
 // Control modes.
@@ -159,6 +166,12 @@ const (
 
 // DefaultOptions returns the paper's full optimization configuration.
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewVerdictCache returns an empty cross-engine FEC verdict cache.
+// Share one via Options.Verdicts across the engines of a session to
+// make re-checks after edits incremental; Run installs one
+// automatically.
+func NewVerdictCache() *VerdictCache { return core.NewVerdictCache() }
 
 // NewEngine builds an engine checking before against after within scope.
 func NewEngine(before, after *Network, scope *Scope, opts Options) *Engine {

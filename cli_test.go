@@ -153,6 +153,11 @@ func TestCLIObservability(t *testing.T) {
 	if !strings.Contains(string(out), "sat.conflicts") {
 		t.Fatalf("-metrics output missing from stderr:\n%s", out)
 	}
+	for _, counter := range []string{"fec.cache.hits", "fec.cache.misses", "prefilter.discharged"} {
+		if !strings.Contains(string(out), counter) {
+			t.Fatalf("-metrics output missing incremental counter %s:\n%s", counter, out)
+		}
+	}
 
 	data, err := os.ReadFile(tracePath)
 	if err != nil {

@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		large      = flag.Bool("large", false, "include the large network (minutes of runtime)")
-		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,t5")
+		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,inc,t5")
 		jsonPath   = flag.String("json", "", "also write the rows as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -102,6 +102,20 @@ func main() {
 		}
 		report.Parallel = experiments.FigParallelCheck(parSizes, []int{1, 2, 4, 8})
 		experiments.PrintParallelRows(os.Stdout, report.Parallel)
+		fmt.Println()
+	}
+	if want["inc"] {
+		// Like "par", the incremental figure skips the small network:
+		// both arms finish in microseconds there and timer granularity
+		// dominates the ratio.
+		incSizes := make([]netgen.Size, 0, len(sizes))
+		for _, s := range sizes {
+			if s != netgen.Small {
+				incSizes = append(incSizes, s)
+			}
+		}
+		report.Incremental = experiments.FigIncrementalCheck(incSizes)
+		experiments.PrintIncrementalRows(os.Stdout, report.Incremental)
 		fmt.Println()
 	}
 	if want["t5"] {

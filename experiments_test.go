@@ -17,7 +17,13 @@ func experimentSizes(t *testing.T) []netgen.Size {
 	if testing.Short() {
 		t.Skip("experiment tables skipped in -short mode")
 	}
-	return allSizes
+	// The large-WAN rows push the package past go test's default 10-minute
+	// timeout on slow machines; they are opt-in via the environment (set by
+	// `make test-full`) and always covered by the weekly CI run.
+	if os.Getenv("JINJING_EXPERIMENTS_LARGE") != "" {
+		return allSizes
+	}
+	return allSizes[:2]
 }
 
 func TestExperimentFig4a(t *testing.T) {
@@ -54,6 +60,11 @@ func TestExperimentFig4b(t *testing.T) {
 	}
 	rows := experiments.Fig4bFix(sizes, modes)
 	experiments.PrintFixRows(os.Stdout, rows)
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("%s/%v%%/%s: fix did not verify", r.Size, r.PerturbPct, r.Mode)
+		}
+	}
 }
 
 func TestExperimentFig4bNoExpansionAblation(t *testing.T) {
@@ -110,10 +121,8 @@ func TestExperimentFig4d(t *testing.T) {
 }
 
 func TestExperimentTable5(t *testing.T) {
-	if testing.Short() {
-		t.Skip("experiment tables skipped in -short mode")
-	}
-	rows := experiments.Table5Programs(allSizes)
+	sizes := experimentSizes(t)
+	rows := experiments.Table5Programs(sizes)
 	experiments.PrintTable5(os.Stdout, rows)
 	// Shape: programs stay small (tens of lines, not hundreds) except the
 	// open-k programs, which grow with the number of control intents.

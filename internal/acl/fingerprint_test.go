@@ -40,3 +40,54 @@ func TestFingerprintStableAcrossClone(t *testing.T) {
 		t.Fatal("clone changed the fingerprint")
 	}
 }
+
+// TestFingerprintSensitivity pins the properties the core verdict cache
+// keys on: any semantic-relevant mutation — rule reorder, mask change,
+// action flip, default flip, rule insertion — must change the
+// fingerprint, while cloning or re-parsing the same text must not.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := MustParse("deny dst 1.0.0.0/8, permit src 10.0.0.0/24 dport 80, deny proto 6, permit all")
+	fp := base.Fingerprint()
+
+	if got := MustParse("deny dst 1.0.0.0/8, permit src 10.0.0.0/24 dport 80, deny proto 6, permit all").Fingerprint(); got != fp {
+		t.Fatal("re-parsing identical text changed the fingerprint")
+	}
+	if got := base.Clone().Fingerprint(); got != fp {
+		t.Fatal("cloning changed the fingerprint")
+	}
+
+	mutate := func(name string, f func(a *ACL)) {
+		m := base.Clone()
+		f(m)
+		if m.Fingerprint() == fp {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+	mutate("rule reorder", func(a *ACL) {
+		a.Rules[0], a.Rules[1] = a.Rules[1], a.Rules[0]
+	})
+	mutate("mask change", func(a *ACL) {
+		a.Rules[0].Match.Dst.Len = 9
+	})
+	mutate("address change", func(a *ACL) {
+		a.Rules[0].Match.Dst.Addr ^= 1 << 24
+	})
+	mutate("action flip", func(a *ACL) {
+		a.Rules[2].Action = !a.Rules[2].Action
+	})
+	mutate("default flip", func(a *ACL) {
+		a.Default = !a.Default
+	})
+	mutate("port change", func(a *ACL) {
+		a.Rules[1].Match.DstPort.Hi = 81
+	})
+	mutate("proto change", func(a *ACL) {
+		a.Rules[2].Match.Proto.Lo++
+	})
+	mutate("rule inserted", func(a *ACL) {
+		a.Rules = append(a.Rules, Rule{Action: Deny, Match: a.Rules[0].Match})
+	})
+	mutate("rule deleted", func(a *ACL) {
+		a.Rules = a.Rules[:len(a.Rules)-1]
+	})
+}

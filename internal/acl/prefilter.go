@@ -1,0 +1,102 @@
+package acl
+
+import "jinjing/internal/header"
+
+// This file is the SAT-free semantic pre-filter: syntactic machinery
+// that proves two ACLs decision-equivalent without ever building a
+// formula. It works rule-wise over the 104-bit 5-tuple — interval
+// subsumption (Match.Contains over src/dst prefixes, port ranges, and
+// protocol ranges) to drop rules that cannot fire, and a canonical
+// reordering of rules whose relative order cannot matter — so the
+// check pipeline can discharge the trivially-equal before/after pairs
+// of an update and reserve the CDCL solver for genuinely hard FECs.
+// Everything here is sound but incomplete: TriviallyEquivalent=true
+// guarantees equivalence, false means "unknown, ask the solver".
+
+// Normalize returns a canonical, decision-equivalent form of the ACL:
+//
+//  1. shadowed rules — those contained (interval subsumption on every
+//     5-tuple field) in an earlier kept rule — are dropped;
+//  2. default-agreeing rules that no later overlapping opposite-action
+//     rule needs as a guard are dropped (both via SimplifyFast);
+//  3. adjacent rules with pairwise-disjoint matches are stably sorted
+//     into a canonical order (swapping disjoint neighbors cannot change
+//     any packet's first match).
+//
+// Syntactically different but trivially-equivalent ACLs — a cloned ACL
+// with a dead rule edited, a reordered pair of disjoint rules —
+// normalize to identical rule lists. The input is not mutated.
+func Normalize(a *ACL) *ACL {
+	out := SimplifyFast(a)
+	if out == a {
+		out = a.Clone()
+	}
+	sortDisjointRuns(out.Rules)
+	return out
+}
+
+// sortDisjointRuns bubble-sorts the rule list under the partial freedom
+// that disjoint adjacent rules may swap: a single deterministic pass
+// repeated to fixpoint, so every ordering of a mutually disjoint run
+// converges to the same canonical (ruleLess) order.
+func sortDisjointRuns(rules []Rule) {
+	for swapped := true; swapped; {
+		swapped = false
+		for i := 0; i+1 < len(rules); i++ {
+			if !rules[i].Match.Overlaps(rules[i+1].Match) && ruleLess(rules[i+1], rules[i]) {
+				rules[i], rules[i+1] = rules[i+1], rules[i]
+				swapped = true
+			}
+		}
+	}
+}
+
+// ruleLess is a total order on rules used only for canonicalization.
+func ruleLess(a, b Rule) bool {
+	if a.Action != b.Action {
+		return a.Action == Deny
+	}
+	am, bm := a.Match, b.Match
+	if am.Dst != bm.Dst {
+		return prefixLess(am.Dst, bm.Dst)
+	}
+	if am.Src != bm.Src {
+		return prefixLess(am.Src, bm.Src)
+	}
+	if am.DstPort != bm.DstPort {
+		return am.DstPort.Lo < bm.DstPort.Lo ||
+			(am.DstPort.Lo == bm.DstPort.Lo && am.DstPort.Hi < bm.DstPort.Hi)
+	}
+	if am.SrcPort != bm.SrcPort {
+		return am.SrcPort.Lo < bm.SrcPort.Lo ||
+			(am.SrcPort.Lo == bm.SrcPort.Lo && am.SrcPort.Hi < bm.SrcPort.Hi)
+	}
+	return am.Proto.Lo < bm.Proto.Lo ||
+		(am.Proto.Lo == bm.Proto.Lo && am.Proto.Hi < bm.Proto.Hi)
+}
+
+func prefixLess(a, b header.Prefix) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	return a.Len < b.Len
+}
+
+// TriviallyEquivalent reports whether a and b provably have the same
+// decision model, decided purely syntactically: structural equality
+// first, then structural equality of the Normalize forms. It never
+// builds a formula or touches a solver. A true result is sound (the
+// ACLs are equivalent); a false result only means the pre-filter could
+// not tell, and the caller must fall back to the CDCL path.
+func TriviallyEquivalent(a, b *ACL) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Equal(b) {
+		return true
+	}
+	return Normalize(a).Equal(Normalize(b))
+}

@@ -1,0 +1,86 @@
+package acl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNormalizePreservesSemantics: Normalize must keep the decision
+// model intact — it only drops redundant rules and reorders disjoint
+// neighbors — checked against the SMT-backed equivalence oracle.
+func TestNormalizePreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 150; i++ {
+		a := randomACL(r, 1+r.Intn(8))
+		n := Normalize(a)
+		if !Equivalent(a, n) {
+			t.Fatalf("Normalize changed semantics:\n  in:  %s\n  out: %s", a, n)
+		}
+		// Idempotent: normalizing a normal form is a fixpoint.
+		if !n.Equal(Normalize(n)) {
+			t.Fatalf("Normalize not idempotent on %s", n)
+		}
+	}
+}
+
+// TestNormalizeCanonicalizesReorderings: swapping disjoint adjacent
+// rules must normalize to the same form, so TriviallyEquivalent
+// discharges the reorder without a solver.
+func TestNormalizeCanonicalizesReorderings(t *testing.T) {
+	a := MustParse("deny dst 1.0.0.0/8, permit dst 2.0.0.0/8 dport 80, deny dst 3.0.0.0/8, permit all")
+	b := MustParse("deny dst 3.0.0.0/8, deny dst 1.0.0.0/8, permit dst 2.0.0.0/8 dport 80, permit all")
+	if !TriviallyEquivalent(a, b) {
+		t.Fatalf("disjoint reorder not discharged:\n  %s\n  %s", a, b)
+	}
+	// Overlapping rules must NOT commute.
+	c := MustParse("deny dst 1.0.0.0/8, permit dst 1.0.0.0/9, permit all")
+	d := MustParse("permit dst 1.0.0.0/9, deny dst 1.0.0.0/8, permit all")
+	if TriviallyEquivalent(c, d) {
+		t.Fatalf("overlapping reorder wrongly discharged:\n  %s\n  %s", c, d)
+	}
+}
+
+// TestTriviallyEquivalentSound is the randomized soundness property:
+// whenever the SAT-free pre-filter says two ACLs are equivalent, the
+// SMT oracle must agree. (The converse need not hold — the pre-filter
+// is deliberately incomplete.)
+func TestTriviallyEquivalentSound(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 80
+	}
+	r := rand.New(rand.NewSource(271))
+	discharged, equivalent := 0, 0
+	for i := 0; i < iters; i++ {
+		a := randomACL(r, 1+r.Intn(8))
+		var b *ACL
+		switch r.Intn(4) {
+		case 0:
+			b = a.Clone()
+		case 1:
+			b = Normalize(a)
+		case 2:
+			// Swap one adjacent pair — sometimes disjoint, sometimes not.
+			b = a.Clone()
+			if len(b.Rules) > 1 {
+				k := r.Intn(len(b.Rules) - 1)
+				b.Rules[k], b.Rules[k+1] = b.Rules[k+1], b.Rules[k]
+			}
+		default:
+			b = perturb(r, a)
+		}
+		if Equivalent(a, b) {
+			equivalent++
+		}
+		if TriviallyEquivalent(a, b) {
+			discharged++
+			if !Equivalent(a, b) {
+				t.Fatalf("unsound discharge:\n  a: %s\n  b: %s", a, b)
+			}
+		}
+	}
+	if discharged == 0 {
+		t.Fatal("pre-filter never discharged; generator too adversarial or filter broken")
+	}
+	t.Logf("%d iters: %d equivalent, %d discharged by the pre-filter", iters, equivalent, discharged)
+}

@@ -103,6 +103,15 @@ type Options struct {
 	// path adds no allocations to the solve hot loop (guarded by a
 	// testing.AllocsPerRun test in internal/obs).
 	Obs *obs.Observer
+	// Verdicts, when set, is the cross-engine FEC verdict cache that
+	// makes re-checks incremental: engines bound to the same Before/
+	// Scope/controls/encoding configuration replay cached per-FEC
+	// verdicts and memoized counterexamples for every FEC whose encoded
+	// ACL tuple is unchanged, byte-identical to a cold run. The cache
+	// resets itself when a differently-configured engine binds it. Run
+	// installs one automatically; direct Engine users opt in with
+	// NewVerdictCache. nil disables caching (every check is cold).
+	Verdicts *VerdictCache
 }
 
 // DefaultOptions returns the paper's full configuration.
@@ -139,10 +148,19 @@ type Engine struct {
 	classes []header.Prefix
 	fecs    []topo.FEC
 
-	// ckctx caches the check pipeline's derived state (differential
-	// rules, shared encoder, encoded per-FEC queries, persistent
-	// solvers) across Check calls on this engine; see checkCtx.
+	// depIdx is the lazily built dependency index (binding ID -> FEC
+	// indices) of the change-impact analysis; Before-derived, so it is
+	// shared with derived verification engines and survives UpdateAfter.
+	depIdx map[string][]int
+
+	// ckctx caches the check pipeline's per-generation state (one
+	// Before/After pair): differential rules, encoded pairs, per-FEC
+	// resolution. Invalidated by UpdateAfter; see checkCtx.
 	ckctx *checkCtx
+	// sess holds the solver state that outlives a generation — the
+	// content-addressed encoder and the persistent sequential/parallel
+	// solvers — so warm re-checks re-encode only what an edit changed.
+	sess *checkSession
 }
 
 // New builds an engine. after may equal before (for pure generate tasks).
@@ -151,6 +169,34 @@ func New(before, after *topo.Network, scope *topo.Scope, opts Options) *Engine {
 		after = before
 	}
 	return &Engine{Before: before, After: after, Scope: scope, Opts: opts}
+}
+
+// UpdateAfter replaces the engine's After snapshot in place — the
+// incremental edit entry point. Every Before-derived artifact (paths,
+// classes, FECs, the dependency index), the solver session, and the
+// bound verdict cache survive; only the per-generation check state is
+// rebuilt, so the next Check re-solves just the FECs the edit can
+// reach and replays cached verdicts for the rest.
+func (e *Engine) UpdateAfter(after *topo.Network) {
+	if after == nil {
+		after = e.Before
+	}
+	e.After = after
+	e.ckctx = nil
+}
+
+// derived builds a verification engine over a new After snapshot that
+// shares the parent's Before-derived artifacts — paths, classes, FECs,
+// dependency index — and its solver session and verdict cache, so the
+// verification re-checks of fix and generate only re-solve the FECs
+// their edits touched.
+func (e *Engine) derived(after *topo.Network, parent *obs.Span) *Engine {
+	return &Engine{
+		Before: e.Before, After: after, Scope: e.Scope,
+		Controls: e.Controls, Opts: e.Opts, parentSpan: parent,
+		paths: e.paths, classes: e.classes, fecs: e.fecs,
+		depIdx: e.depIdx, sess: e.sess,
+	}
 }
 
 // Paths returns the structural path set P_Ω, computed once.

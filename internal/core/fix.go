@@ -42,6 +42,11 @@ type FixResult struct {
 	// the fix spun up: the neighborhood-seeking solver, one placement
 	// solver per neighborhood, and the verification check.
 	SolverStats sat.Stats
+	// Stats aggregates the incremental-verification activity: the fix
+	// loop's own verdict-cache and pre-filter skips plus the
+	// verification check's (whose change-impact numbers reflect the
+	// FECs the fixing plan touched).
+	Stats CacheStats
 	// Conflicts equals SolverStats.Conflicts (kept for compatibility).
 	Conflicts int64
 	Timings   Timings
@@ -57,39 +62,22 @@ func (e *Engine) Fix() (*FixResult, error) {
 	res := &FixResult{Timings: Timings{}}
 	pre := startPhase(root, res.Timings, "preprocess")
 
-	pairs := e.scopeACLPairs()
-	var diff []acl.Rule
-	encodeACLs := make(map[string][2]*acl.ACL, len(pairs))
-	if e.Opts.UseDifferential {
-		for _, p := range pairs {
-			diff = append(diff, acl.Differential(orPermitAll(p.before), orPermitAll(p.after))...)
-		}
-		for _, c := range e.Controls {
-			if !c.Match.IsAll() {
-				diff = append(diff, acl.Rule{Action: acl.Permit, Match: c.Match})
-			}
-		}
-		for _, p := range pairs {
-			encodeACLs[p.binding.ID()] = [2]*acl.ACL{
-				acl.Related(orPermitAll(p.before), diff),
-				acl.Related(orPermitAll(p.after), diff),
-			}
-		}
-	} else {
-		for _, p := range pairs {
-			encodeACLs[p.binding.ID()] = [2]*acl.ACL{orPermitAll(p.before), orPermitAll(p.after)}
-		}
-	}
+	// Fix shares the check pipeline's preprocessing — differential
+	// rules, related-filtered encoding pairs, pair fingerprints, and the
+	// incremental per-FEC state — so its verdict-cache consults see
+	// exactly the keys check stores under.
+	ctx := e.checkContext(o)
+	e.prepareIncremental(ctx)
 
 	// The Equation 6 constancy criterion ranges over every decision model
 	// in F_Ω ∪ F'_Ω (full ACLs, not just related rules), plus the control
 	// matches.
 	cons := constancy{ctrls: e.Controls}
-	for _, p := range pairs {
+	for _, p := range ctx.pairs {
 		cons.acls = append(cons.acls, orPermitAll(p.before), orPermitAll(p.after))
 	}
 	cons.computeBounds()
-	pre.end(obs.KV("diff_rules", len(diff)), obs.KV("acl_pairs", len(pairs)))
+	pre.end(obs.KV("diff_rules", ctx.diffRules), obs.KV("acl_pairs", ctx.aclPairs))
 
 	fixed := e.After.Clone()
 	allowSet := map[string]bool{}
@@ -104,13 +92,14 @@ func (e *Engine) Fix() (*FixResult, error) {
 
 	sp := startPhase(root, res.Timings, "solve")
 	iterations := o.Counter("fix.iterations")
-	fecs := e.FECs()
+	fecs := ctx.fecs
 	task := o.StartTask("fix: FECs", int64(len(fecs)))
 
 	apply := func(out fecFixOutcome) error {
 		// Merge one FEC's entries in discovery order, honoring the
 		// global neighborhood budget.
 		iterations.Add(out.iters)
+		res.Stats.add(out.cache)
 		recordSolverStats(o, &res.SolverStats, out.seek)
 		for _, nb := range out.entries {
 			if len(res.Neighborhoods)+len(res.Unfixable) >= maxN {
@@ -141,7 +130,7 @@ func (e *Engine) Fix() (*FixResult, error) {
 	if workers := e.Opts.Workers; workers > 1 {
 		outcomes := make([]fecFixOutcome, len(fecs))
 		runParallel(workers, len(fecs), func(i int) {
-			outcomes[i] = e.fixFEC(fecs[i], diff, encodeACLs, &cons, allowSet, maxN)
+			outcomes[i] = e.fixFEC(ctx, i, &cons, allowSet, maxN)
 			task.Add(1)
 		})
 		for _, out := range outcomes {
@@ -153,9 +142,9 @@ func (e *Engine) Fix() (*FixResult, error) {
 			}
 		}
 	} else {
-		for _, fec := range fecs {
+		for i := range fecs {
 			task.Add(1)
-			out := e.fixFEC(fec, diff, encodeACLs, &cons, allowSet,
+			out := e.fixFEC(ctx, i, &cons, allowSet,
 				maxN-len(res.Neighborhoods)-len(res.Unfixable))
 			if out.err != nil {
 				return nil, out.err
@@ -198,14 +187,19 @@ func (e *Engine) Fix() (*FixResult, error) {
 
 	res.Fixed = fixed
 
-	// Verify: the fixed snapshot must pass check.
+	// Verify: the fixed snapshot must pass check. The verification
+	// engine is derived from this one — same session, dependency index,
+	// and verdict cache — so it re-solves only the FECs the fixing plan
+	// touched and replays the rest.
+	recordCacheStats(o, res.Stats) // fix's own skips; the check records its own
 	vp := startPhase(root, res.Timings, "verify")
-	ver := &Engine{Before: e.Before, After: fixed, Scope: e.Scope, Controls: e.Controls, Opts: e.Opts, parentSpan: vp.sp}
+	ver := e.derived(fixed, vp.sp)
 	cr := ver.Check()
 	res.Verified = cr.Consistent
 	// The verification check recorded its own sat.* metrics; fold its
 	// counters into this primitive's aggregate too.
 	res.SolverStats.Add(cr.SolverStats)
+	res.Stats.add(cr.Stats)
 	res.Conflicts = res.SolverStats.Conflicts
 	vp.end(obs.KV("verified", res.Verified))
 
@@ -240,11 +234,13 @@ type nbOutcome struct {
 }
 
 // fecFixOutcome is one FEC's complete fix sub-result: neighborhood
-// outcomes in discovery order plus the seeking solver's counters.
+// outcomes in discovery order, the seeking solver's counters, and the
+// incremental-verification skips taken for this FEC.
 type fecFixOutcome struct {
 	entries []nbOutcome
 	iters   int64
 	seek    sat.Stats
+	cache   CacheStats
 	err     error
 }
 
@@ -302,10 +298,44 @@ func (e *Engine) seekNeighborhoods(fec topo.FEC, diff []acl.Rule, encodeACLs map
 // the outcome is a pure function of the FEC — independent of the other
 // FECs, of scheduling, and of worker count — which is what makes the
 // sequential and parallel fix plans identical.
-func (e *Engine) fixFEC(fec topo.FEC, diff []acl.Rule, encodeACLs map[string][2]*acl.ACL, consBase *constancy, allowSet map[string]bool, budget int) fecFixOutcome {
-	if budget <= 0 || (e.Opts.UseDifferential && !e.fecTouchesDiff(fec, diff)) {
+//
+// Incremental skips come first: a consistent verdict — resolved earlier
+// this generation, replayed from the verdict cache, or discharged by
+// the SAT-free pre-filter — means the seek loop's very first Solve
+// would return UNSAT and the outcome would be empty, so the per-FEC
+// builder is never built and the fixing plan is byte-identical to the
+// cold run's. What fix learns (a seek verdict, a pre-filter discharge)
+// is inserted into the cache, warming the verification check and later
+// pipeline stages.
+func (e *Engine) fixFEC(ctx *checkCtx, i int, consBase *constancy, allowSet map[string]bool, budget int) fecFixOutcome {
+	fec := ctx.fecs[i]
+	if budget <= 0 || (e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff)) {
 		// Skip before paying for the per-FEC builder.
 		return fecFixOutcome{}
+	}
+	var key []uint64
+	switch ctx.states[i] {
+	case fecOK, fecDischarged:
+		// Proved consistent earlier this generation (a prior check on
+		// this engine decided or replayed it).
+		return fecFixOutcome{cache: CacheStats{FECCacheHits: 1}}
+	case fecViolating, fecPending:
+		// Known violating, or encoded but undecided: seek.
+	default:
+		var ent *fecVerdict
+		if ctx.vc != nil {
+			key = ctx.fecKey(fec)
+			ent = ctx.vc.lookup(i, key)
+		}
+		switch {
+		case ent != nil && (!ent.hadJob || !ent.violating):
+			return fecFixOutcome{cache: CacheStats{FECCacheHits: 1}}
+		case ent == nil && e.fecPrefiltered(ctx, fec):
+			if ctx.vc != nil {
+				ctx.vc.insert(i, &fecVerdict{key: key, hadJob: false})
+			}
+			return fecFixOutcome{cache: CacheStats{PrefilterDischarged: 1}}
+		}
 	}
 	cons := constancy{
 		acls: consBase.acls, ctrls: consBase.ctrls,
@@ -314,7 +344,19 @@ func (e *Engine) fixFEC(fec topo.FEC, diff []acl.Rule, encodeACLs map[string][2]
 	}
 	enc := newEncoder(e.Opts.UseTournament, e.obsv())
 	solver := smt.SolverOn(enc.b)
-	return e.seekNeighborhoods(fec, diff, encodeACLs, &cons, allowSet, budget, enc, solver)
+	out := e.seekNeighborhoods(fec, ctx.diff, ctx.encodeACLs, &cons, allowSet, budget, enc, solver)
+	if ctx.vc != nil && out.err == nil {
+		// The seek verdict is the check verdict: the loop's base query is
+		// exactly the FEC's Equation-3 query, so iters==0 means a
+		// structurally-False violation formula (check would discharge) and
+		// a first-Solve UNSAT means a consistent solver verdict.
+		out.cache.FECCacheMisses = 1
+		if key == nil {
+			key = ctx.fecKey(fec)
+		}
+		ctx.vc.insert(i, &fecVerdict{key: key, hadJob: out.iters > 0, violating: len(out.entries) > 0})
+	}
+	return out
 }
 
 // solveNeighborhood solves the placement problem for one neighborhood

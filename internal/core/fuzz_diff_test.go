@@ -478,3 +478,77 @@ func TestFuzzFixOnRandomNetworks(t *testing.T) {
 		t.Fatal("no random-network fix instance verified; generator too restrictive")
 	}
 }
+
+// TestFuzzIncrementalEditSequences is the incremental-verification fuzz
+// lane: random networks undergo random edit sequences, and at every
+// step a warm engine (shared VerdictCache, UpdateAfter per edit) must
+// agree with a fresh-engine cold check — verdict, violation signatures,
+// counterexamples, and SolvedFECs — on both the sequential and the
+// parallel pipeline. Divergence means a stale replay: a cache key that
+// failed to capture something the verdict depends on.
+func TestFuzzIncrementalEditSequences(t *testing.T) {
+	cases, steps := 45, 4
+	if testing.Short() {
+		cases = 8
+	}
+	r := rand.New(rand.NewSource(60221023))
+	var totalHits, totalReplayedSteps int64
+	for iter := 0; iter < cases; iter++ {
+		before, scope, nPref := fuzzNet(r, true)
+
+		warmOpts := core.DefaultOptions()
+		warmOpts.FindAllViolations = iter%2 == 0
+		warmOpts.UseDifferential = iter%3 != 0
+		coldOpts := warmOpts
+		warmOpts.Verdicts = core.NewVerdictCache()
+		parOpts := warmOpts
+		parOpts.Verdicts = core.NewVerdictCache()
+
+		warmSeq := core.New(before, before.Clone(), scope, warmOpts)
+		warmPar := core.New(before, before.Clone(), scope, parOpts)
+		warmSeq.Check()
+		warmPar.CheckParallel(4)
+
+		cur := before
+		for step := 0; step < steps; step++ {
+			next := cur.Clone()
+			fuzzEdit(r, next, nPref, true)
+			cur = next
+
+			cold := core.New(before, cur, scope, coldOpts).Check()
+			want := checkSignature(cold)
+
+			warmSeq.UpdateAfter(cur)
+			seq := warmSeq.Check()
+			if got := checkSignature(seq); got != want {
+				t.Fatalf("case %d step %d: warm sequential diverged\nwarm:\n%s\ncold:\n%s",
+					iter, step, got, want)
+			}
+			if seq.SolvedFECs != cold.SolvedFECs {
+				t.Fatalf("case %d step %d: warm SolvedFECs=%d, cold=%d",
+					iter, step, seq.SolvedFECs, cold.SolvedFECs)
+			}
+
+			warmPar.UpdateAfter(cur)
+			par := warmPar.CheckParallel(4)
+			if got := checkSignature(par); got != want {
+				t.Fatalf("case %d step %d: warm parallel diverged\nwarm:\n%s\ncold:\n%s",
+					iter, step, got, want)
+			}
+			if par.SolvedFECs != cold.SolvedFECs {
+				t.Fatalf("case %d step %d: warm parallel SolvedFECs=%d, cold=%d",
+					iter, step, par.SolvedFECs, cold.SolvedFECs)
+			}
+
+			totalHits += seq.Stats.FECCacheHits + par.Stats.FECCacheHits
+			if seq.Stats.FECCacheHits > 0 {
+				totalReplayedSteps++
+			}
+		}
+	}
+	if totalHits == 0 {
+		t.Fatal("no warm step ever replayed a verdict; the cache is dead weight")
+	}
+	t.Logf("%d cases x %d steps: %d replayed verdicts, %d steps with replays",
+		cases, steps, totalHits, totalReplayedSteps)
+}

@@ -246,9 +246,12 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 	}
 	res.Generated = gen
 
-	// Verify: the generated snapshot must pass check.
+	// Verify: the generated snapshot must pass check. The verification
+	// engine is derived from this one — same session, dependency index,
+	// and verdict cache — so repeated generate/verify rounds in a session
+	// re-solve only the FECs whose synthesized ACLs changed.
 	vp := startPhase(root, res.Timings, "verify")
-	ver := &Engine{Before: e.Before, After: gen, Scope: e.Scope, Controls: e.Controls, Opts: e.Opts, parentSpan: vp.sp}
+	ver := e.derived(gen, vp.sp)
 	cr := ver.Check()
 	res.Verified = cr.Consistent
 	// The verification check recorded its own sat.* metrics; fold its

@@ -1,0 +1,613 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/obs"
+	"jinjing/internal/pset"
+	"jinjing/internal/sat"
+	"jinjing/internal/smt"
+	"jinjing/internal/topo"
+)
+
+// This file is the incremental-verification subsystem: a cross-engine
+// FEC verdict cache, the change-impact analysis that decides which FECs
+// an edit can reach, and the glue that lets check replay cached
+// verdicts (and memoized counterexamples) byte-identically to a cold
+// run. The design is content-addressed: a FEC's verdict is a pure
+// function of the encoded before/after ACL contents along its paths
+// (plus the engine's controls and encoding mode, which bind the cache),
+// so "invalidation" is simply a changed key — repair iterations and
+// operator edits miss only on the FECs they actually touch.
+
+// fecState classifies one FEC within a check generation (one After
+// snapshot). States are resolved lazily in FEC order and memoized on
+// the generation's context.
+type fecState uint8
+
+const (
+	// fecUnresolved: not yet examined this generation.
+	fecUnresolved fecState = iota
+	// fecSkipped: the Theorem 4.1 differential fast path — no diff rule
+	// overlaps the FEC. Depends on the global diff, so it is never
+	// cached across generations.
+	fecSkipped
+	// fecDischarged: provably consistent without a solver verdict (the
+	// SAT-free pre-filter, or a structurally-False violation formula).
+	fecDischarged
+	// fecPending: an encoded query awaiting a solver verdict.
+	fecPending
+	// fecOK: the query was UNSAT — decided now, in an earlier call, or
+	// replayed from the verdict cache.
+	fecOK
+	// fecViolating: the query was SAT.
+	fecViolating
+)
+
+// CacheStats reports the incremental-verification activity of one
+// primitive call: verdict-cache traffic, SAT-free pre-filter
+// discharges, and the change-impact analysis of the generation
+// (bindings whose encoded ACL pair changed since the cache's previous
+// generation, and the FECs reachable from them through the dependency
+// index). Counts are per-call deltas except ChangedBindings and
+// AffectedFECs, which describe the generation itself.
+type CacheStats struct {
+	FECCacheHits        int64
+	FECCacheMisses      int64
+	PrefilterDischarged int64
+	ChangedBindings     int
+	AffectedFECs        int
+}
+
+// add folds another primitive's stats in (fix aggregates its own
+// consults plus its verification check's).
+func (s *CacheStats) add(t CacheStats) {
+	s.FECCacheHits += t.FECCacheHits
+	s.FECCacheMisses += t.FECCacheMisses
+	s.PrefilterDischarged += t.PrefilterDischarged
+	s.ChangedBindings += t.ChangedBindings
+	s.AffectedFECs += t.AffectedFECs
+}
+
+// since returns the per-call delta against a baseline snapshot,
+// carrying the generation-scoped impact numbers through unchanged.
+func (s CacheStats) since(base CacheStats) CacheStats {
+	return CacheStats{
+		FECCacheHits:        s.FECCacheHits - base.FECCacheHits,
+		FECCacheMisses:      s.FECCacheMisses - base.FECCacheMisses,
+		PrefilterDischarged: s.PrefilterDischarged - base.PrefilterDischarged,
+		ChangedBindings:     s.ChangedBindings,
+		AffectedFECs:        s.AffectedFECs,
+	}
+}
+
+// recordCacheStats mirrors one call's deltas into the metrics registry.
+func recordCacheStats(o *obs.Observer, s CacheStats) {
+	o.Counter("fec.cache.hits").Add(s.FECCacheHits)
+	o.Counter("fec.cache.misses").Add(s.FECCacheMisses)
+	o.Counter("prefilter.discharged").Add(s.PrefilterDischarged)
+}
+
+// fecVerdict is one cached verdict: the FEC's content key, whether its
+// Equation-3 query needed a solver verdict (hadJob) and how it came out
+// (violating), plus the lazily memoized canonical counterexample for
+// violating entries. Entries are immutable except wit, which is
+// backfilled under the cache mutex.
+type fecVerdict struct {
+	key       []uint64
+	hadJob    bool
+	violating bool
+	wit       *Violation
+}
+
+// VerdictCache caches per-FEC check verdicts across engines and After
+// snapshots. It binds to a configuration — the Before network, the
+// scope, the controls, and the encoding mode — on first use and resets
+// itself whenever a differently-configured engine touches it, so a
+// stale cache can never leak verdicts across incompatible
+// configurations. Within one configuration, entries are keyed by the
+// ordered tuple of encoded before/after ACL fingerprints along each
+// FEC's paths: any edit (an operator's update, a fix iteration's
+// repair rule) changes the keys of exactly the FECs it can affect, and
+// every other FEC replays its cached verdict. Safe for concurrent use.
+type VerdictCache struct {
+	mu     sync.Mutex
+	bound  bool
+	before *topo.Network
+	scope  *topo.Scope
+	cfg    string
+
+	// byFEC indexes entries per FEC by key hash, with a full-key
+	// comparison resolving hash collisions.
+	byFEC []map[uint64][]*fecVerdict
+
+	// lastPairs/lastGen snapshot the previous generation — the encoded
+	// pair fingerprints and the per-FEC entries of the last committed
+	// check — powering the change-impact fast path: an unaffected FEC
+	// replays its previous entry without even hashing its key.
+	lastPairs map[string][2]uint64
+	lastGen   []*fecVerdict
+}
+
+// NewVerdictCache returns an empty cache. Share one across the engines
+// of an interactive session (Run installs one automatically) to make
+// re-checks after edits incremental.
+func NewVerdictCache() *VerdictCache { return &VerdictCache{} }
+
+// cacheConfig digests the engine state a cached verdict depends on
+// beyond the FEC content key: the encoding mode and the control
+// intents. (UseDifferential is deliberately absent — the key holds
+// fingerprints of the ACLs as encoded, related-filtered or not, so
+// equal keys mean equal formulas either way. Workers and
+// FindAllViolations cannot change any verdict.)
+func (e *Engine) cacheConfig() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tournament=%v", e.Opts.UseTournament)
+	for _, c := range e.Controls {
+		fmt.Fprintf(&b, ";%v %v from=%s to=%s", c.Mode, c.Match,
+			sortedIDs(c.From), sortedIDs(c.To))
+	}
+	return b.String()
+}
+
+func sortedIDs(m map[string]bool) string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
+}
+
+// bind points the cache at the engine's configuration, dropping all
+// entries when it differs from the bound one (a new Before snapshot, a
+// changed scope or control set, or a changed Options encoding mode).
+func (vc *VerdictCache) bind(e *Engine, nfec int) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	cfg := e.cacheConfig()
+	if vc.bound && vc.before == e.Before && vc.scope == e.Scope && vc.cfg == cfg && len(vc.byFEC) == nfec {
+		return
+	}
+	vc.bound = true
+	vc.before, vc.scope, vc.cfg = e.Before, e.Scope, cfg
+	vc.byFEC = make([]map[uint64][]*fecVerdict, nfec)
+	vc.lastPairs, vc.lastGen = nil, nil
+}
+
+// hashKey is FNV-1a over the key words.
+func hashKey(key []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range key {
+		h ^= w
+		h *= prime64
+	}
+	return h
+}
+
+func equalKey(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the entry for FEC i under the given key, or nil.
+func (vc *VerdictCache) lookup(i int, key []uint64) *fecVerdict {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if i >= len(vc.byFEC) || vc.byFEC[i] == nil {
+		return nil
+	}
+	for _, ent := range vc.byFEC[i][hashKey(key)] {
+		if equalKey(ent.key, key) {
+			return ent
+		}
+	}
+	return nil
+}
+
+// insert stores an entry for FEC i (no-op on a duplicate key: the first
+// stored verdict for a content key is as good as any later one).
+func (vc *VerdictCache) insert(i int, ent *fecVerdict) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if i >= len(vc.byFEC) {
+		return
+	}
+	m := vc.byFEC[i]
+	if m == nil {
+		m = make(map[uint64][]*fecVerdict)
+		vc.byFEC[i] = m
+	}
+	h := hashKey(ent.key)
+	for _, old := range m[h] {
+		if equalKey(old.key, ent.key) {
+			return
+		}
+	}
+	m[h] = append(m[h], ent)
+}
+
+// witness returns the entry's memoized counterexample (nil when not yet
+// computed).
+func (vc *VerdictCache) witness(ent *fecVerdict) *Violation {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return ent.wit
+}
+
+// memoWitness backfills the entry's counterexample, keeping the first.
+func (vc *VerdictCache) memoWitness(ent *fecVerdict, v *Violation) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if ent.wit == nil {
+		ent.wit = v
+	}
+}
+
+// depIndex maps each binding ID to the (deduplicated, ascending) FEC
+// indices whose paths traverse it — the dependency index of the
+// change-impact analysis. Built once per engine and shared with
+// derived verification engines.
+func (e *Engine) depIndex() map[string][]int {
+	if e.depIdx == nil {
+		idx := map[string][]int{}
+		for i, fec := range e.FECs() {
+			seen := map[string]bool{}
+			for _, p := range fec.Paths {
+				for _, b := range p.Bindings() {
+					id := b.ID()
+					if !seen[id] {
+						seen[id] = true
+						idx[id] = append(idx[id], i)
+					}
+				}
+			}
+		}
+		e.depIdx = idx
+	}
+	return e.depIdx
+}
+
+// prepareIncremental sizes the generation's per-FEC resolution state,
+// binds the verdict cache, and runs the change-impact analysis against
+// the cache's previous generation. Idempotent per context.
+func (e *Engine) prepareIncremental(ctx *checkCtx) {
+	if ctx.incReady {
+		return
+	}
+	ctx.incReady = true
+	if ctx.fecs == nil {
+		ctx.fecs = e.FECs()
+	}
+	n := len(ctx.fecs)
+	ctx.states = make([]fecState, n)
+	ctx.entries = make([]*fecVerdict, n)
+	ctx.jobOf = make([]int32, n)
+	for i := range ctx.jobOf {
+		ctx.jobOf[i] = -1
+	}
+	ctx.wit = make(map[int]*Violation)
+	vc := e.Opts.Verdicts
+	if vc == nil || ctx.fastPath {
+		// fastPath generations (an empty differential) never consult or
+		// commit the cache — fix reaches here only to size the states.
+		return
+	}
+	vc.bind(e, n)
+	ctx.vc = vc
+
+	vc.mu.Lock()
+	lastPairs, lastGen := vc.lastPairs, vc.lastGen
+	vc.mu.Unlock()
+	if lastPairs == nil {
+		return
+	}
+	// Change-impact analysis: a binding changed when its encoded pair
+	// fingerprints differ from the previous generation's (including
+	// bindings present in only one of the two); the affected FECs are
+	// those reachable from a changed binding through the dependency
+	// index. Everything else replays its previous entry directly.
+	changed := map[string]bool{}
+	for id, fp := range ctx.pairFPs {
+		if old, ok := lastPairs[id]; !ok || old != fp {
+			changed[id] = true
+		}
+	}
+	for id := range lastPairs {
+		if _, ok := ctx.pairFPs[id]; !ok {
+			changed[id] = true
+		}
+	}
+	ctx.stats.ChangedBindings = len(changed)
+	dep := e.depIndex()
+	ctx.affected = make([]bool, n)
+	naff := 0
+	for id := range changed {
+		for _, i := range dep[id] {
+			if !ctx.affected[i] {
+				ctx.affected[i] = true
+				naff++
+			}
+		}
+	}
+	ctx.stats.AffectedFECs = naff
+	ctx.lastGen = lastGen
+}
+
+// fecKey is the FEC's content address: the ordered tuple of encoded
+// before/after ACL fingerprints along its paths, with a presence
+// marker per binding slot (the slot structure is fixed by the FEC's
+// Before-derived paths, so every key vector parses unambiguously).
+// Equal keys mean the check pipeline encodes identical formulas for
+// this FEC — same verdict, same canonical counterexample.
+func (ctx *checkCtx) fecKey(fec topo.FEC) []uint64 {
+	var key []uint64
+	for _, p := range fec.Paths {
+		for _, b := range p.Bindings() {
+			if fp, ok := ctx.pairFPs[b.ID()]; ok {
+				key = append(key, 1, fp[0], fp[1])
+			} else {
+				key = append(key, 0)
+			}
+		}
+	}
+	return key
+}
+
+// pairTrivialID reports (and memoizes) whether the binding's encoded
+// before/after pair is trivially equivalent per the SAT-free
+// pre-filter. Safe for concurrent use (fix workers share the memo).
+func (ctx *checkCtx) pairTrivialID(id string) bool {
+	ctx.trivMu.Lock()
+	defer ctx.trivMu.Unlock()
+	if v, ok := ctx.pairTriv[id]; ok {
+		return v
+	}
+	res := true
+	if pr, ok := ctx.encodeACLs[id]; ok {
+		res = trivialPair(pr[0], pr[1], ctx.pairFPs[id])
+	}
+	ctx.pairTriv[id] = res
+	return res
+}
+
+// trivialPair layers the pre-filter cheapest-first: fingerprint plus
+// structural equality (the common cloned-but-unchanged case), syntactic
+// normalization (acl.TriviallyEquivalent: interval subsumption and
+// canonical reordering), then the bounded exact set-algebra check for
+// small ACLs. Sound: true guarantees decision-model equivalence.
+func trivialPair(before, after *acl.ACL, fps [2]uint64) bool {
+	if before == after {
+		return true
+	}
+	if fps[0] == fps[1] && before.Equal(after) {
+		return true
+	}
+	if acl.TriviallyEquivalent(before, after) {
+		return true
+	}
+	const maxRules, maxCubes = 24, 64
+	if len(before.Rules) <= maxRules && len(after.Rules) <= maxRules {
+		if eq, decided := pset.EquivalentACLsBounded(before, after, maxCubes); decided {
+			return eq
+		}
+	}
+	return false
+}
+
+// fecPrefiltered reports whether the SAT-free pre-filter discharges the
+// FEC: no control intent governs any of its paths, and every encoded
+// before/after pair along them is trivially equivalent — so desired and
+// after decisions agree on every packet without building a formula.
+func (e *Engine) fecPrefiltered(ctx *checkCtx, fec topo.FEC) bool {
+	for _, p := range fec.Paths {
+		for _, c := range e.Controls {
+			if c.AppliesTo(p) {
+				return false
+			}
+		}
+		for _, b := range p.Bindings() {
+			if !ctx.pairTrivialID(b.ID()) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resolveFEC classifies FEC i for this generation: the differential
+// skip first (never cached — it depends on the global diff), then the
+// change-impact replay and the verdict cache, then the SAT-free
+// pre-filter, and only then formula construction. Must be called from
+// one goroutine at a time (the solve phases resolve before fanning
+// out); the resulting state is memoized.
+func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
+	if st := ctx.states[i]; st != fecUnresolved {
+		return st
+	}
+	fec := ctx.fecs[i]
+	if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff) {
+		ctx.states[i] = fecSkipped
+		return fecSkipped
+	}
+	var key []uint64
+	if ctx.vc != nil {
+		if ctx.affected != nil && !ctx.affected[i] && ctx.lastGen != nil && i < len(ctx.lastGen) && ctx.lastGen[i] != nil {
+			return ctx.adopt(i, ctx.lastGen[i])
+		}
+		key = ctx.fecKey(fec)
+		if ent := ctx.vc.lookup(i, key); ent != nil {
+			return ctx.adopt(i, ent)
+		}
+		ctx.stats.FECCacheMisses++
+	}
+	if e.fecPrefiltered(ctx, fec) {
+		ctx.stats.PrefilterDischarged++
+		ctx.discharge(i, key)
+		return fecDischarged
+	}
+	viol := e.fecViolationFormula(ctx.sess.enc, fec, ctx.encodeACLs)
+	if viol == smt.False {
+		ctx.discharge(i, key)
+		return fecDischarged
+	}
+	enc := ctx.sess.enc
+	ctx.jobOf[i] = int32(len(ctx.jobs))
+	ctx.jobs = append(ctx.jobs, checkJob{
+		fecIdx: i,
+		query:  enc.b.And(viol, enc.classPred(fec.Classes)),
+		key:    key,
+	})
+	ctx.states[i] = fecPending
+	return fecPending
+}
+
+// adopt replays a cached entry as FEC i's state for this generation.
+func (ctx *checkCtx) adopt(i int, ent *fecVerdict) fecState {
+	ctx.stats.FECCacheHits++
+	ctx.entries[i] = ent
+	st := fecDischarged
+	if ent.hadJob {
+		if ent.violating {
+			st = fecViolating
+		} else {
+			st = fecOK
+		}
+	}
+	ctx.states[i] = st
+	return st
+}
+
+// discharge records FEC i as provably consistent without a solver
+// verdict, caching the outcome under its content key.
+func (ctx *checkCtx) discharge(i int, key []uint64) {
+	ctx.states[i] = fecDischarged
+	if ctx.vc != nil {
+		ent := &fecVerdict{key: key, hadJob: false}
+		ctx.entries[i] = ent
+		ctx.vc.insert(i, ent)
+	}
+}
+
+// finishJob records a solver verdict for one pending job. Safe to call
+// concurrently for distinct jobs (each job is decided exactly once).
+func (ctx *checkCtx) finishJob(j checkJob, satisfiable bool) {
+	if satisfiable {
+		ctx.states[j.fecIdx] = fecViolating
+	} else {
+		ctx.states[j.fecIdx] = fecOK
+	}
+	if ctx.vc != nil {
+		ent := &fecVerdict{key: j.key, hadJob: true, violating: satisfiable}
+		ctx.entries[j.fecIdx] = ent
+		ctx.vc.insert(j.fecIdx, ent)
+	}
+}
+
+// solvedFECs counts the FECs in [0, last] whose Equation-3 query needed
+// a solver verdict — decided in this or an earlier call, or replayed
+// from the verdict cache. A pure function of the resolved states, so
+// warm, cold, sequential, and parallel runs all report the number the
+// cold sequential scan would have.
+func solvedFECs(ctx *checkCtx, last int) int {
+	n := 0
+	for i := 0; i <= last && i < len(ctx.states); i++ {
+		switch ctx.states[i] {
+		case fecPending, fecOK, fecViolating:
+			n++
+		}
+	}
+	return n
+}
+
+// witnessFor returns FEC i's counterexample, replaying the generation
+// memo or the cache entry's memoized witness when present and computing
+// the canonical witness otherwise. The bool reports a replay.
+func (e *Engine) witnessFor(ctx *checkCtx, i int, res *CheckResult, o *obs.Observer) (Violation, bool) {
+	if v, ok := ctx.wit[i]; ok {
+		return *v, true
+	}
+	ent := ctx.entries[i]
+	if ent != nil && ctx.vc != nil {
+		if w := ctx.vc.witness(ent); w != nil {
+			ctx.wit[i] = w
+			return *w, true
+		}
+	}
+	v, st := e.witnessFEC(ctx, i)
+	recordSolverStats(o, &res.SolverStats, st)
+	ctx.wit[i] = &v
+	if ent != nil && ctx.vc != nil {
+		ctx.vc.memoWitness(ent, &v)
+	}
+	return v, false
+}
+
+// witnessFEC re-solves FEC i's Equation-3 query on a fresh builder and
+// solver, yielding the canonical counterexample: a pure function of the
+// FEC and the encoded ACL contents, independent of engine history,
+// worker count, and cache state — the property that keeps warm replays
+// byte-identical to a fresh-engine cold run.
+func (e *Engine) witnessFEC(ctx *checkCtx, i int) (Violation, sat.Stats) {
+	fec := ctx.fecs[i]
+	enc := newEncoder(e.Opts.UseTournament, e.obsv())
+	viol := e.fecViolationFormula(enc, fec, ctx.encodeACLs)
+	query := enc.b.And(viol, enc.classPred(fec.Classes))
+	var iffs []smt.F
+	for _, p := range fec.Paths {
+		d, ap := e.pathFormulas(enc, p, ctx.encodeACLs)
+		iffs = append(iffs, enc.b.Iff(d, ap))
+	}
+	s := smt.SolverOn(enc.b)
+	if !s.Solve(query) {
+		panic("core: witness solver disagrees with detection verdict")
+	}
+	v := Violation{Packet: s.Packet(enc.pv), Classes: fec.Classes}
+	for pi, p := range fec.Paths {
+		if !s.EvalInModel(iffs[pi]) {
+			v.Paths = append(v.Paths, p)
+		}
+	}
+	return v, s.Stats()
+}
+
+// commitGeneration publishes this generation as the cache's previous
+// one: the encoded pair fingerprints plus each FEC's entry — resolved
+// this generation, or carried over when the change-impact analysis
+// proved the FEC unaffected. Idempotent; the last committing engine
+// (an operator check, a fix verification) wins, which is exactly the
+// snapshot the next edit diffs against.
+func (ctx *checkCtx) commitGeneration() {
+	if ctx.vc == nil {
+		return
+	}
+	vc := ctx.vc
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	newGen := make([]*fecVerdict, len(ctx.fecs))
+	for i := range newGen {
+		switch {
+		case ctx.entries[i] != nil:
+			newGen[i] = ctx.entries[i]
+		case ctx.affected != nil && !ctx.affected[i] && i < len(ctx.lastGen):
+			newGen[i] = ctx.lastGen[i]
+		}
+	}
+	vc.lastGen = newGen
+	vc.lastPairs = ctx.pairFPs
+}

@@ -13,77 +13,94 @@ import (
 	"jinjing/internal/topo"
 )
 
-// checkJob is one encoded Equation-3 query: the violation formula of a
-// single FEC conjoined with its class predicate, plus the per-path
-// decision equivalences used to attribute a counterexample to paths.
+// checkJob is one encoded Equation-3 query: a single FEC's violation
+// formula conjoined with its class predicate, plus the content key its
+// verdict is cached under. Counterexample attribution happens in the
+// canonical witness pass (see witnessFEC), so jobs carry no path
+// equivalences.
 type checkJob struct {
-	fecIdx   int
-	query    smt.F
-	pathIffs []smt.F
+	fecIdx int
+	query  smt.F
+	key    []uint64
 }
 
-// checkCtx is the check pipeline's cached state, kept on the engine so
-// repeated Check calls — and the mixed sequential/parallel calls of one
-// session — share one encoder, one job list, and warmed solvers. The
-// inputs it derives from (Before/After/Scope/Controls and the
-// correctness-relevant options) are immutable for an engine's lifetime,
-// which is what makes the caching sound.
+// checkSession is the solver state that outlives a single After
+// snapshot: the shared content-addressed encoder (its builder grows
+// monotonically, hash-consing unchanged cones across edits), the
+// persistent sequential detection solver, the fully clausified
+// prototype the parallel workers fork from, and the pooled idle forks.
+// UpdateAfter keeps the session, so a warm re-check re-encodes only
+// what the edit changed.
+type checkSession struct {
+	enc   *encoder
+	seq   *smt.Solver
+	proto *smt.Solver
+	free  []*smt.Solver
+}
+
+// checkCtx is one generation of the check pipeline — the derived state
+// for the engine's current Before/After pair: differential rules,
+// related-filtered encoding pairs and their fingerprints, and the
+// per-FEC incremental resolution state (see resolveFEC). It is cached
+// on the engine and invalidated by UpdateAfter; the checkSession it
+// points at survives across generations.
 type checkCtx struct {
-	enc        *encoder
+	sess *checkSession
+
+	pairs      []aclPair
 	diff       []acl.Rule
 	encodeACLs map[string][2]*acl.ACL // binding ID -> {before, after}
+	pairFPs    map[string][2]uint64   // binding ID -> encoded pair fingerprints
 	fastPath   bool
 	diffRules  int
 	aclPairs   int
 
 	fecs []topo.FEC
-	// jobs grow monotonically in FEC order via buildJob; nextFEC is the
-	// first FEC index not yet examined. A sequential call that stopped at
-	// the first violation and a later parallel call therefore extend the
-	// same builder in the same global order, keeping node IDs — and with
-	// them witness models — identical across call patterns.
-	jobs    []checkJob
-	nextFEC int
 
-	// seq is the persistent sequential detection solver; proto is the
-	// fully clausified prototype the parallel workers fork from, with
-	// protoJobs counting the jobs already clausified into it; free pools
-	// idle worker forks for reuse by later parallel calls.
-	seq       *smt.Solver
-	proto     *smt.Solver
+	// Incremental resolution state (sized by prepareIncremental).
+	incReady bool
+	states   []fecState
+	entries  []*fecVerdict
+	jobOf    []int32 // fecIdx -> index into jobs, -1 when none
+	jobs     []checkJob
+	// protoJobs counts the jobs already clausified into the prototype
+	// this generation (unchanged cones hash-cons to already-clausified
+	// nodes, so re-clausification across generations is cheap).
 	protoJobs int
-	free      []*smt.Solver
 
-	// witHits/witnesses memoize the witness pass: counterexamples are a
-	// pure function of (jobs, hits), so a repeat call whose violating
-	// job set is unchanged reuses them verbatim.
-	witHits   []int
-	witnesses []Violation
+	// wit memoizes canonical witnesses per FEC for this generation.
+	wit map[int]*Violation
+
+	// trivMu guards pairTriv (fix workers probe the pre-filter
+	// concurrently).
+	trivMu   sync.Mutex
+	pairTriv map[string]bool
+
+	// Verdict-cache view for this generation: the bound cache, the
+	// change-impact bitmap (nil on the first generation), and the
+	// previous generation's entries.
+	vc       *VerdictCache
+	affected []bool
+	lastGen  []*fecVerdict
+
+	stats CacheStats
 }
 
-// equalHits reports whether the cached witness hit list matches (both
-// are ascending job indices; a nil cache never matches).
-func equalHits(cached, hits []int) bool {
-	if cached == nil || len(cached) != len(hits) {
-		return false
-	}
-	for i, h := range hits {
-		if cached[i] != h {
-			return false
-		}
-	}
-	return true
-}
-
-// checkContext returns the engine's cached check state, deriving it on
-// first use: Theorem 4.1 preprocessing (differential rules and
-// related-rule filtering) and the shared encoder.
+// checkContext returns the engine's cached per-generation check state,
+// deriving it on first use: Theorem 4.1 preprocessing (differential
+// rules and related-rule filtering), the encoded-pair fingerprints the
+// verdict cache keys on, and the session (shared encoder + persistent
+// solvers), which is reused across generations.
 func (e *Engine) checkContext(o *obs.Observer) *checkCtx {
 	if e.ckctx != nil {
 		return e.ckctx
 	}
-	ctx := &checkCtx{}
+	if e.sess == nil {
+		e.sess = &checkSession{enc: newEncoder(e.Opts.UseTournament, o)}
+	}
+	ctx := &checkCtx{sess: e.sess, pairTriv: map[string]bool{}}
 	pairs := e.scopeACLPairs()
+	ctx.pairs = pairs
 	ctx.aclPairs = len(pairs)
 	ctx.encodeACLs = make(map[string][2]*acl.ACL, len(pairs))
 	if e.Opts.UseDifferential {
@@ -114,103 +131,95 @@ func (e *Engine) checkContext(o *obs.Observer) *checkCtx {
 		}
 	}
 	ctx.diffRules = len(ctx.diff)
-	ctx.enc = newEncoder(e.Opts.UseTournament, o)
+	ctx.pairFPs = make(map[string][2]uint64, len(ctx.encodeACLs))
+	for id, pr := range ctx.encodeACLs {
+		ctx.pairFPs[id] = [2]uint64{pr[0].Fingerprint(), pr[1].Fingerprint()}
+	}
 	e.ckctx = ctx
 	return ctx
 }
 
-// buildJob advances over the FECs until it has appended one more
-// encoded query (skipping FECs discharged by Theorem 4.1 or a
-// structurally unchanged violation formula), returning false when the
-// FECs are exhausted.
-func (e *Engine) buildJob(ctx *checkCtx) bool {
-	for ctx.nextFEC < len(ctx.fecs) {
-		i := ctx.nextFEC
-		ctx.nextFEC++
-		fec := ctx.fecs[i]
-		if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff) {
-			// Fast path: no differential rule overlaps this FEC, so by
-			// Theorem 4.1 the update cannot change its reachability.
-			continue
-		}
-		viol := e.fecViolationFormula(ctx.enc, fec, ctx.encodeACLs)
-		if viol == smt.False {
-			continue
-		}
-		j := checkJob{fecIdx: i, query: ctx.enc.b.And(viol, ctx.enc.classPred(fec.Classes))}
-		for _, p := range fec.Paths {
-			d, dp := e.pathFormulas(ctx.enc, p, ctx.encodeACLs)
-			j.pathIffs = append(j.pathIffs, ctx.enc.b.Iff(d, dp))
-		}
-		ctx.jobs = append(ctx.jobs, j)
-		return true
-	}
-	return false
-}
+// solveParallel resolves every FEC (replaying cached verdicts), then
+// fans the still-pending queries out across a pool of worker solvers
+// forked from a shared, fully clausified prototype. Returns the
+// ascending violating FEC indices (truncated to the first when
+// FindAllViolations is off, matching the sequential scan exactly) and
+// the last FEC index the scan semantically examined.
+func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, o *obs.Observer, workers int) ([]int, int) {
+	findAll := e.Opts.FindAllViolations
 
-// solveParallel runs the detection queries across a pool of worker
-// solvers forked from a shared, fully clausified prototype. Returns the
-// ascending violating job indices (truncated to the first one when
-// FindAllViolations is off, matching the sequential scan exactly).
-func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, o *obs.Observer, workers int) []int {
-	// Encode: materialize every remaining query on the shared builder,
-	// which stays immutable while the workers run.
+	// Encode: resolve FECs in order — in first-violation mode only up to
+	// (and including) the first replayed violation, which bounds the
+	// answer exactly as the sequential scan's early stop would.
 	ep := startPhase(root, res.Timings, "encode")
-	for e.buildJob(ctx) {
+	stop := len(ctx.fecs)
+	replayed := -1
+	for i := 0; i < len(ctx.fecs); i++ {
+		if e.resolveFEC(ctx, i) == fecViolating && !findAll {
+			replayed = i
+			stop = i + 1
+			break
+		}
 	}
-	ep.end(obs.KV("jobs", len(ctx.jobs)))
+	// The jobs still pending a verdict this call, ascending FEC order.
+	var pend []checkJob
+	for i := 0; i < stop; i++ {
+		if ctx.states[i] == fecPending {
+			pend = append(pend, ctx.jobs[ctx.jobOf[i]])
+		}
+	}
+	ep.end(obs.KV("jobs", len(pend)))
 
 	sp := startPhase(root, res.Timings, "solve")
+	sess := ctx.sess
 	// Clausify each query's cone once into the prototype; workers fork
 	// the resulting clause database instead of re-deriving it.
-	if ctx.proto == nil {
-		ctx.proto = smt.SolverOn(ctx.enc.b)
+	if sess.proto == nil {
+		sess.proto = smt.SolverOn(sess.enc.b)
 	}
 	for _, j := range ctx.jobs[ctx.protoJobs:] {
-		ctx.proto.EnsureClausified(j.query)
+		sess.proto.EnsureClausified(j.query)
 	}
 	ctx.protoJobs = len(ctx.jobs)
-	o.Gauge("smt.proto.clauses").Set(int64(ctx.proto.NumClauses()))
+	o.Gauge("smt.proto.clauses").Set(int64(sess.proto.NumClauses()))
 
-	if workers > len(ctx.jobs) {
-		workers = len(ctx.jobs)
+	if workers > len(pend) {
+		workers = len(pend)
 	}
+	task := o.StartTask("check: FECs", int64(len(pend)))
+	hist := o.Histogram("check.fec_solve_ns")
+	jobsHist := o.Histogram("check.worker_jobs")
+	var (
+		next   atomic.Int64
+		minHit atomic.Int64
+		mu     sync.Mutex
+		agg    sat.Stats
+		wg     sync.WaitGroup
+	)
+	minHit.Store(int64(len(pend)))
+
 	// Hand each worker a pooled solver when one is idle; the rest fork
 	// the prototype inside their own goroutine, so the clause-database
 	// copies — the dominant fixed cost of fanning out — run concurrently
 	// instead of serializing on the caller. Pool order is preserved
 	// across calls so worker w re-acquires the same solver it used last
 	// time; with the static find-all partition below, that solver's
-	// learned clauses are exactly the ones for the queries it is about
-	// to re-solve.
+	// learned clauses stay matched to the queries it re-solves.
 	pool := make([]*smt.Solver, workers)
 	take := workers
-	if take > len(ctx.free) {
-		take = len(ctx.free)
+	if take > len(sess.free) {
+		take = len(sess.free)
 	}
-	copy(pool, ctx.free[:take])
-	ctx.free = append(ctx.free[:0], ctx.free[take:]...)
+	copy(pool, sess.free[:take])
+	sess.free = append(sess.free[:0], sess.free[take:]...)
 
-	task := o.StartTask("check: FECs", int64(len(ctx.jobs)))
-	hist := o.Histogram("check.fec_solve_ns")
-	jobsHist := o.Histogram("check.worker_jobs")
-	findAll := e.Opts.FindAllViolations
-	var (
-		next   atomic.Int64
-		minHit atomic.Int64
-		mu     sync.Mutex
-		agg    sat.Stats
-		hits   []int
-		wg     sync.WaitGroup
-	)
-	minHit.Store(int64(len(ctx.jobs)))
 	for w := range pool {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			solver := pool[w]
 			if solver == nil {
-				solver = ctx.proto.Fork()
+				solver = sess.proto.Fork()
 				pool[w] = solver
 			}
 			base := solver.Stats()
@@ -220,19 +229,14 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 				if hist != nil {
 					t1 = time.Now()
 				}
-				satisfiable := solver.Decide(ctx.jobs[k].query)
+				satisfiable := solver.Decide(pend[k].query)
 				if hist != nil {
 					hist.Observe(time.Since(t1).Nanoseconds())
 				}
 				nsolved++
 				task.Add(1)
-				if !satisfiable {
-					return
-				}
-				mu.Lock()
-				hits = append(hits, k)
-				mu.Unlock()
-				if !findAll {
+				ctx.finishJob(pend[k], satisfiable)
+				if satisfiable && !findAll {
 					for {
 						cur := minHit.Load()
 						if int64(k) >= cur || minHit.CompareAndSwap(cur, int64(k)) {
@@ -242,11 +246,11 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 				}
 			}
 			if findAll {
-				// Every job must be solved, so carve the job list into
+				// Every pending job must be solved, so carve the list into
 				// static contiguous slices: worker w re-solves the same
-				// slice on every call, and its persistent solver's learned
+				// region on every call, and its persistent solver's learned
 				// clauses stay matched to its queries.
-				n := len(ctx.jobs)
+				n := len(pend)
 				for k := w * n / workers; k < (w+1)*n/workers; k++ {
 					solveJob(k)
 				}
@@ -256,7 +260,7 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 				// be the answer.
 				for {
 					k := int(next.Add(1)) - 1
-					if k >= len(ctx.jobs) {
+					if k >= len(pend) {
 						break
 					}
 					if int64(k) > minHit.Load() {
@@ -275,23 +279,34 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 	}
 	wg.Wait()
 	task.Done()
-	ctx.free = append(ctx.free, pool...)
-
-	sort.Ints(hits)
-	if !findAll && len(hits) > 1 {
-		hits = hits[:1]
-	}
-	// SolvedFECs is defined deterministically — the count the sequential
-	// scan would have decided — not the racy number of queries the
-	// workers happened to run.
-	if !findAll && len(hits) > 0 {
-		res.SolvedFECs = hits[0] + 1
-	} else {
-		res.SolvedFECs = len(ctx.jobs)
-	}
+	sess.free = append(sess.free, pool...)
 	recordSolverStats(o, &res.SolverStats, agg)
-	sp.end(obs.KV("solved", res.SolvedFECs), obs.KV("violations", len(hits)))
-	return hits
+
+	// Merge deterministically from the per-FEC states: worker
+	// scheduling decided who solved what, the states say what came out.
+	var hits []int
+	last := len(ctx.fecs) - 1
+	if findAll {
+		for i := range ctx.fecs {
+			if ctx.states[i] == fecViolating {
+				hits = append(hits, i)
+			}
+		}
+	} else {
+		first := replayed
+		if h := minHit.Load(); h < int64(len(pend)) {
+			if f := pend[h].fecIdx; first < 0 || f < first {
+				first = f
+			}
+		}
+		if first >= 0 {
+			hits = []int{first}
+			last = first
+		}
+	}
+	sort.Ints(hits)
+	sp.end(obs.KV("decided", len(pend)), obs.KV("violations", len(hits)))
+	return hits, last
 }
 
 // statsSince subtracts a baseline snapshot from cumulative solver

@@ -55,6 +55,12 @@ func FromResolved(r *lai.Resolved, opts Options) *Engine {
 // the sources are the modify-to-permit-all bindings (the §5 migration
 // convention).
 func Run(r *lai.Resolved, opts Options) (*Report, error) {
+	if opts.Verdicts == nil {
+		// One program run is one session: check → fix → check pipelines
+		// share verdicts, so later stages re-solve only what earlier
+		// stages' edits touched.
+		opts.Verdicts = NewVerdictCache()
+	}
 	e := FromResolved(r, opts)
 	rep := &Report{Final: r.After}
 	root := opts.Obs.StartSpan("run", obs.KV("commands", len(r.Commands)))

@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"jinjing/internal/acl"
 	"jinjing/internal/core"
 	"jinjing/internal/header"
 	"jinjing/internal/lai"
@@ -469,6 +471,198 @@ func FigParallelCheck(sizes []netgen.Size, workerCounts []int) []ParallelRow {
 	return rows
 }
 
+// IncrementalRow is one incremental re-check measurement: the same
+// single-ACL edit verified by a cold engine (fresh, no verdict cache)
+// and by a warm session engine whose VerdictCache carries the previous
+// generation's verdicts. ColdElapsed/WarmElapsed are paired-sample
+// medians over the interleaved calls.
+type IncrementalRow struct {
+	Size       netgen.Size `json:"size"`
+	PerturbPct float64     `json:"perturb_pct"`
+	// EditSite names the layer the per-iteration edit lands on:
+	// "edge-up" (an ACL attached on a destination-side edge uplink,
+	// whose FEC fan-in is bounded) or "agg-down" (an existing agg
+	// downlink ACL, which roughly half the FECs traverse).
+	EditSite   string `json:"edit_site"`
+	Iterations int    `json:"iterations"`
+	FECs       int    `json:"fecs"`
+	Consistent bool   `json:"consistent"`
+	// ColdSolved/WarmSolved are the solver verdict counts of the last
+	// iteration's cold and warm calls: the warm count is the number of
+	// FECs the cache could NOT discharge for a one-ACL edit.
+	ColdSolved int `json:"cold_solved_fecs"`
+	WarmSolved int `json:"warm_solved_fecs"`
+	// Verdict-cache and pre-filter traffic accumulated over all warm
+	// calls; HitRate = hits / (hits + misses).
+	CacheHits   int64   `json:"fec_cache_hits"`
+	CacheMisses int64   `json:"fec_cache_misses"`
+	Prefiltered int64   `json:"prefilter_discharged"`
+	HitRate     float64 `json:"hit_rate"`
+	// ChangedBindings/AffectedFECs are the last warm call's change
+	// impact (successive independent edits differ from the previous
+	// generation in the reverted and the newly edited binding).
+	ChangedBindings int           `json:"changed_bindings"`
+	AffectedFECs    int           `json:"affected_fecs"`
+	ColdElapsed     time.Duration `json:"cold_elapsed_ns"`
+	WarmElapsed     time.Duration `json:"warm_elapsed_ns"`
+	Speedup         float64       `json:"speedup"`
+	// Identical records that every warm result matched its cold twin
+	// (verdict, violation packets, and paths).
+	Identical bool `json:"identical"`
+}
+
+// resultSignature canonicalizes a check result for the warm-equals-cold
+// comparison behind IncrementalRow.Identical.
+func resultSignature(res *core.CheckResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "consistent=%v solved=%d\n", res.Consistent, res.SolvedFECs)
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "pkt=%v classes=%v paths=[", v.Packet, v.Classes)
+		for _, p := range v.Paths {
+			b.WriteString(p.Key())
+			b.WriteString(" ")
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// FigIncrementalCheck measures the verdict cache on the operator loop
+// the incremental engine targets: a session holds one verified update
+// open and re-checks after every edit. Basic mode (no Theorem 4.1
+// filtering) keeps the comparison conservative — the differential
+// filter would let the cold engine skip unchanged bindings too, so
+// disabling it isolates the cache — and find-all disables early exit,
+// as in FigParallelCheck. Each iteration applies one single-ACL edit (a
+// fresh deny prepended, rotating over bindings and prefixes) to the
+// 5%-perturbed update; the edited snapshot is then checked cold (a
+// fresh cacheless engine with prewarmed input preprocessing, as in
+// Fig. 4a) and warm (UpdateAfter on the session engine). Cold and warm
+// calls interleave so machine-wide drift lands on both arms equally
+// and the medians form paired samples; every warm result is compared
+// against its cold twin.
+//
+// Two edit sites bound the cache's reach from both ends. "edge-up"
+// attaches the deny on a destination-side edge uplink: only the paths
+// toward that edge traverse it, so the edit invalidates a handful of
+// FECs and the re-check replays nearly everything — the localized-edit
+// regime content addressing is built for. "agg-down" edits an existing
+// agg downlink ACL, which roughly half the FECs traverse — the
+// worst-case half of the spectrum (an entering-border edit would reach
+// every FEC, where no verdict cache can help and none should: those
+// verdicts genuinely change).
+func FigIncrementalCheck(sizes []netgen.Size) []IncrementalRow {
+	const pct = 5
+	var rows []IncrementalRow
+	for _, size := range sizes {
+		w := GetWAN(size)
+		after := w.Perturb(Seed+int64(pct*10), pct)
+		pool := w.AllPrefixes()
+
+		edgeUp := make([]string, 0, len(w.EdgeNames))
+		for _, en := range w.EdgeNames {
+			edgeUp = append(edgeUp, en+":u0:in")
+		}
+		sites := []struct {
+			label string
+			ids   []string
+		}{
+			{"edge-up", edgeUp},
+			{"agg-down", w.AggACLs},
+		}
+
+		mkOpts := func() core.Options {
+			o := core.DefaultOptions()
+			o.UseDifferential = false
+			o.UseTournament = true
+			o.FindAllViolations = true
+			return o
+		}
+		for _, site := range sites {
+			bindings, err := netgen.Bindings(after, site.ids)
+			if err != nil {
+				panic(err)
+			}
+			warmOpts := mkOpts()
+			warmOpts.Verdicts = core.NewVerdictCache()
+			warm := core.New(w.Net, after, w.Scope, warmOpts)
+			warm.FECs()
+			warm.Check() // prime the cache on the base update (untimed)
+
+			// One single-ACL edit per iteration, built up front so
+			// snapshot cloning stays out of the timed regions.
+			edits := make([]*topo.Network, parallelSteadyCalls)
+			for i := range edits {
+				n := after.Clone()
+				b := bindings[i%len(bindings)]
+				iface, err := n.LookupInterface(b.Iface.ID())
+				if err != nil {
+					panic(err)
+				}
+				a := iface.ACL(b.Dir)
+				if a == nil {
+					a = acl.PermitAll()
+				}
+				deny := acl.Rule{Action: acl.Deny, Match: header.DstMatch(pool[i%len(pool)])}
+				a.Rules = append([]acl.Rule{deny}, a.Rules...)
+				iface.SetACL(b.Dir, a)
+				edits[i] = n
+			}
+
+			var (
+				hits, misses, pre  int64
+				coldDurs, warmDurs []time.Duration
+				coldRes, warmRes   *core.CheckResult
+				identical          = true
+			)
+			for _, edited := range edits {
+				cold := core.New(w.Net, edited, w.Scope, mkOpts())
+				cold.FECs() // prewarm shared input preprocessing, as in Fig. 4a
+				t0 := time.Now()
+				coldRes = cold.Check()
+				coldDurs = append(coldDurs, time.Since(t0))
+
+				t0 = time.Now()
+				warm.UpdateAfter(edited)
+				warmRes = warm.Check()
+				warmDurs = append(warmDurs, time.Since(t0))
+
+				if resultSignature(warmRes) != resultSignature(coldRes) {
+					identical = false
+				}
+				hits += warmRes.Stats.FECCacheHits
+				misses += warmRes.Stats.FECCacheMisses
+				pre += warmRes.Stats.PrefilterDischarged
+			}
+
+			median := func(ds []time.Duration) time.Duration {
+				sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+				return ds[len(ds)/2]
+			}
+			row := IncrementalRow{
+				Size: size, PerturbPct: pct, EditSite: site.label,
+				Iterations: parallelSteadyCalls,
+				FECs:       warmRes.FECs, Consistent: warmRes.Consistent,
+				ColdSolved: coldRes.SolvedFECs, WarmSolved: warmRes.SolvedFECs,
+				CacheHits: hits, CacheMisses: misses, Prefiltered: pre,
+				ChangedBindings: warmRes.Stats.ChangedBindings,
+				AffectedFECs:    warmRes.Stats.AffectedFECs,
+				ColdElapsed:     median(coldDurs),
+				WarmElapsed:     median(warmDurs),
+				Identical:       identical,
+			}
+			if hits+misses > 0 {
+				row.HitRate = float64(hits) / float64(hits+misses)
+			}
+			if row.WarmElapsed > 0 {
+				row.Speedup = float64(row.ColdElapsed) / float64(row.WarmElapsed)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
 // Table5Row is one LAI program-size measurement.
 type Table5Row struct {
 	Size       netgen.Size `json:"size"`
@@ -559,7 +753,10 @@ type BenchReport struct {
 	Fixes     []FixRow      `json:"fixes,omitempty"`
 	Generates []GenerateRow `json:"generates,omitempty"`
 	Parallel  []ParallelRow `json:"parallel,omitempty"`
-	Table5    []Table5Row   `json:"table5,omitempty"`
+	// Incremental is the warm-vs-cold re-check figure
+	// (BENCH_incremental.json when run with -figures inc).
+	Incremental []IncrementalRow `json:"incremental,omitempty"`
+	Table5      []Table5Row      `json:"table5,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -624,6 +821,20 @@ func PrintParallelRows(w io.Writer, rows []ParallelRow) {
 			r.CacheHits, r.CacheMisses,
 			r.ColdElapsed.Round(time.Millisecond),
 			r.Elapsed.Round(100*time.Microsecond), r.SpeedupVsSeq)
+	}
+}
+
+// PrintIncrementalRows formats the incremental re-check results.
+func PrintIncrementalRows(w io.Writer, rows []IncrementalRow) {
+	fmt.Fprintf(w, "Incremental check — cold vs warm re-check after a single-ACL edit (basic mode, find-all, 5%% perturbation)\n")
+	fmt.Fprintf(w, "%-8s %-9s %6s %7s %7s %12s %5s %8s %10s %10s %8s %9s\n",
+		"size", "edit", "FECs", "cold#", "warm#", "cache h/m", "pre", "hitrate", "cold", "warm", "speedup", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-9s %6d %7d %7d %6d/%-5d %5d %7.1f%% %10v %10v %7.2fx %9v\n",
+			r.Size, r.EditSite, r.FECs, r.ColdSolved, r.WarmSolved,
+			r.CacheHits, r.CacheMisses, r.Prefiltered, 100*r.HitRate,
+			r.ColdElapsed.Round(time.Millisecond),
+			r.WarmElapsed.Round(100*time.Microsecond), r.Speedup, r.Identical)
 	}
 }
 

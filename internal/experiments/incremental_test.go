@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"jinjing/internal/netgen"
+)
+
+// TestFigIncrementalCheckSmall runs the incremental figure on the small
+// WAN (sub-second) and pins its invariants: one row per edit site, warm
+// results byte-identical to the cold twins at every iteration, verdicts
+// actually replayed, and the edge-uplink edit's change impact bounded
+// well below the FEC count (the locality the figure exists to show).
+func TestFigIncrementalCheckSmall(t *testing.T) {
+	rows := FigIncrementalCheck([]netgen.Size{netgen.Small})
+	if len(rows) != 2 {
+		t.Fatalf("expected one row per edit site, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("%s/%s: a warm re-check diverged from its cold twin", r.Size, r.EditSite)
+		}
+		if r.CacheHits == 0 {
+			t.Fatalf("%s/%s: warm re-checks replayed nothing", r.Size, r.EditSite)
+		}
+		if r.Iterations < 13 {
+			t.Fatalf("%s/%s: %d iterations, want >= 13", r.Size, r.EditSite, r.Iterations)
+		}
+		if r.HitRate <= 0 || r.HitRate > 1 {
+			t.Fatalf("%s/%s: hit rate %v out of range", r.Size, r.EditSite, r.HitRate)
+		}
+	}
+	if rows[0].EditSite != "edge-up" || rows[1].EditSite != "agg-down" {
+		t.Fatalf("unexpected edit sites: %q, %q", rows[0].EditSite, rows[1].EditSite)
+	}
+	edge := rows[0]
+	if edge.AffectedFECs >= edge.FECs {
+		t.Fatalf("edge-up edit affected all %d FECs; want bounded reach (got %d)",
+			edge.FECs, edge.AffectedFECs)
+	}
+}

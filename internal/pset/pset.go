@@ -221,3 +221,45 @@ func PermittedSet(a *acl.ACL) Set {
 func EquivalentACLs(a, b *acl.ACL) bool {
 	return PermittedSet(a).Equal(PermittedSet(b))
 }
+
+// permittedSetBounded is PermittedSet with a cube budget: it gives up
+// (ok=false) as soon as any intermediate set exceeds maxCubes, keeping
+// the worst case bounded for callers on a hot path.
+func permittedSetBounded(a *acl.ACL, maxCubes int) (Set, bool) {
+	permitted := Empty()
+	claimed := Empty()
+	for _, r := range a.Rules {
+		region := FromMatch(r.Match).Subtract(claimed)
+		if r.Action == acl.Permit {
+			permitted = permitted.Union(region)
+		}
+		claimed = claimed.Union(FromMatch(r.Match))
+		if len(permitted.cubes) > maxCubes || len(claimed.cubes) > maxCubes {
+			return Set{}, false
+		}
+	}
+	if a.Default == acl.Permit {
+		permitted = permitted.Union(Universe().Subtract(claimed))
+		if len(permitted.cubes) > maxCubes {
+			return Set{}, false
+		}
+	}
+	return permitted, true
+}
+
+// EquivalentACLsBounded is EquivalentACLs with a cube budget, for use
+// as an exact but cost-capped leg of the check pipeline's SAT-free
+// pre-filter. decided=false means the budget was exhausted before the
+// question was settled and the caller must fall back to the solver;
+// when decided=true, equal is the exact answer.
+func EquivalentACLsBounded(a, b *acl.ACL, maxCubes int) (equal, decided bool) {
+	pa, ok := permittedSetBounded(a, maxCubes)
+	if !ok {
+		return false, false
+	}
+	pb, ok := permittedSetBounded(b, maxCubes)
+	if !ok {
+		return false, false
+	}
+	return pa.Equal(pb), true
+}

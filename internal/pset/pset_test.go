@@ -191,3 +191,33 @@ func TestSamplePacket(t *testing.T) {
 		t.Fatal("empty set has no sample")
 	}
 }
+
+// TestEquivalentACLsBounded: the budgeted variant must agree with the
+// unbounded one whenever it decides, and must decline (not lie) when the
+// cube budget is too small.
+func TestEquivalentACLsBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(577))
+	decidedCount, declined := 0, 0
+	for iter := 0; iter < 200; iter++ {
+		a := randomACL(r, 1+r.Intn(7))
+		var b *acl.ACL
+		if r.Intn(2) == 0 {
+			b = acl.SimplifyFast(a)
+		} else {
+			b = randomACL(r, 1+r.Intn(7))
+		}
+		eq, decided := pset.EquivalentACLsBounded(a, b, 64)
+		if !decided {
+			declined++
+			continue
+		}
+		decidedCount++
+		if want := pset.EquivalentACLs(a, b); eq != want {
+			t.Fatalf("iter %d: bounded=%v unbounded=%v\na=%v\nb=%v", iter, eq, want, a, b)
+		}
+	}
+	if decidedCount == 0 {
+		t.Fatal("bounded variant never decided anything with a 64-cube budget")
+	}
+	t.Logf("decided %d, declined %d", decidedCount, declined)
+}
