@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race fuzz lint bench experiments examples vet fmt clean
+.PHONY: all build test test-full race fuzz faults lint bench experiments examples vet fmt clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ race:
 # sequential-vs-parallel fix agreement corpus.
 fuzz:
 	$(GO) test -count=1 -run 'TestFuzz|TestFixParallelMatchesSequential' ./internal/core
+
+# Fault-injection lane: every TestFault* scenario (solver timeouts,
+# transient faults, worker panics, pool collapse, deadline cancellation)
+# under the race detector. The faultinject registry is process-global,
+# so these tests never run in parallel with each other.
+faults:
+	$(GO) test -race -short -count=1 -run 'TestFault' ./internal/core ./internal/faultinject
 
 # Formatting + static checks; fails when any file needs gofmt.
 lint:

@@ -1,6 +1,7 @@
 package jinjing
 
 import (
+	"context"
 	"io"
 
 	"jinjing/internal/acl"
@@ -155,6 +156,13 @@ type (
 	// CacheStats reports one call's verdict-cache and pre-filter
 	// activity (see CheckResult.Stats / FixResult.Stats).
 	CacheStats = core.CacheStats
+	// UnknownFEC identifies one FEC whose verdict could not be
+	// established within a call's deadline or budget (see
+	// CheckResult.Unknown and Options.Deadline / Options.PerFECBudget).
+	UnknownFEC = core.UnknownFEC
+	// ErrUnknownVerdicts is returned by fix and generate when unknown
+	// verdicts block the plan; it names the blocking FECs or AECs.
+	ErrUnknownVerdicts = core.ErrUnknownVerdicts
 )
 
 // Control modes.
@@ -180,6 +188,12 @@ func NewEngine(before, after *Network, scope *Scope, opts Options) *Engine {
 
 // Run executes a resolved LAI program's commands in order.
 func Run(r *Resolved, opts Options) (*Report, error) { return core.Run(r, opts) }
+
+// RunContext is Run under a cancellation scope: ctx (plus
+// Options.Deadline, applied per primitive call) bounds every command.
+func RunContext(ctx context.Context, r *Resolved, opts Options) (*Report, error) {
+	return core.RunContext(ctx, r, opts)
+}
 
 // Observability (set Options.Obs to instrument a run; see internal/obs).
 type (

@@ -250,6 +250,67 @@ func TestCLIWorkersGolden(t *testing.T) {
 	}
 }
 
+// TestCLIResourceLimits drives the -timeout/-fec-budget/-max-retries
+// flags end to end: generous limits must leave stdout byte-identical to
+// the unlimited run, while an immediately-expiring -timeout must report
+// UNDECIDED promptly and exit nonzero — an undecided check composes
+// into automation as a failure, never a pass.
+func TestCLIResourceLimits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run builds binaries; skipped in -short mode")
+	}
+	netgenBin := buildTool(t, "jinjing-netgen")
+	jinjingBin := buildTool(t, "jinjing")
+	dir := t.TempDir()
+
+	before := filepath.Join(dir, "net.json")
+	after := filepath.Join(dir, "net-after.json")
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-out", before)
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-perturb", "4", "-out", after)
+	prog := filepath.Join(dir, "check.lai")
+	writeProgram(t, prog, "check\n")
+
+	capture := func(args ...string) (string, error) {
+		cmd := exec.Command(jinjingBin, append([]string{
+			"-topo", before, "-updated", after, "-program", prog, "-all-violations",
+		}, args...)...)
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &bytes.Buffer{}
+		err := cmd.Run()
+		return stdout.String(), err
+	}
+
+	// Generous limits: the perturbed check is inconsistent (nonzero exit)
+	// either way, and the limit flags must not change a byte of output.
+	plain, err := capture()
+	if err == nil {
+		t.Fatalf("perturbed check should exit nonzero\n%s", plain)
+	}
+	limited, err := capture("-timeout", "1h", "-fec-budget", "1000000", "-max-retries", "3")
+	if err == nil {
+		t.Fatalf("perturbed check should exit nonzero under generous limits\n%s", limited)
+	}
+	if limited != plain {
+		t.Fatalf("generous limits changed stdout:\n--- plain ---\n%s\n--- limited ---\n%s", plain, limited)
+	}
+
+	// An immediately-expiring deadline: partial results, UNDECIDED, exit 1.
+	undecided, err := capture("-timeout", "1ns")
+	if err == nil {
+		t.Fatalf("an undecided check must exit nonzero\n%s", undecided)
+	}
+	if !strings.Contains(undecided, "check: UNDECIDED") {
+		t.Fatalf("expected UNDECIDED, got:\n%s", undecided)
+	}
+	if !strings.Contains(undecided, "undecided FEC") {
+		t.Fatalf("expected per-FEC undecided lines, got:\n%s", undecided)
+	}
+	if strings.Contains(undecided, "check: consistent") {
+		t.Fatalf("an undecided check must not read as consistent:\n%s", undecided)
+	}
+}
+
 // TestCLIExperimentsSmoke runs the experiments binary on the tiniest
 // subset to keep the tool honest.
 func TestCLIExperimentsSmoke(t *testing.T) {

@@ -50,6 +50,10 @@ func main() {
 		workers     = flag.Int("workers", 1, "parallel workers for check, fix, and generate")
 		explain     = flag.Bool("explain", false, "print hop-by-hop decision traces for each violation")
 
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline per primitive call (0 = none); expired checks report UNDECIDED FECs, fix/generate refuse their plan")
+		fecBudget  = flag.Int64("fec-budget", 0, "SAT conflict budget per solver query (0 = unlimited); exhausted queries escalate 4x per retry")
+		maxRetries = flag.Int("max-retries", 2, "retries for a budget-exhausted or transiently failed query before its verdict stays unknown")
+
 		tracePath   = flag.String("trace", "", "write a JSONL span trace to this file")
 		traceText   = flag.Bool("trace-text", false, "print a human-readable span trace to stderr")
 		showMetrics = flag.Bool("metrics", false, "print the metrics registry to stderr after the run")
@@ -104,6 +108,11 @@ func main() {
 	if *noOpt {
 		engineOpts = core.Options{FindAllViolations: *findAll, Workers: *workers}
 	}
+	// Resource limits apply in every optimization mode, so set them after
+	// the -no-optimizations reset.
+	engineOpts.Deadline = *timeout
+	engineOpts.PerFECBudget = *fecBudget
+	engineOpts.MaxRetries = *maxRetries
 
 	observer, finish, err := setupObservability(*tracePath, *traceText, *showMetrics, *progress, *cpuProfile, *memProfile)
 	if err != nil {
@@ -134,11 +143,12 @@ func main() {
 	// exit below bypasses deferred calls.
 	finish()
 
-	// Exit nonzero when a check failed and nothing repaired it, so the
-	// command composes into automation.
+	// Exit nonzero when a check failed — or could not finish within its
+	// limits — and nothing repaired it, so the command composes into
+	// automation: an UNDECIDED check must never read as a pass.
 	if len(report.Fixes) == 0 && len(report.Generates) == 0 {
 		for _, c := range report.Checks {
-			if !c.Consistent {
+			if !c.Consistent || !c.Complete {
 				os.Exit(1)
 			}
 		}

@@ -55,6 +55,22 @@ type StaticRoute struct {
 	Iface  string
 }
 
+// ParseError is the structured syntax error of the configuration
+// parser: the 1-based line the parser stopped at (0 when the error is
+// file-level, e.g. a missing hostname) and a message. Every error
+// returned by Parse is a *ParseError.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("ciscoconf: line %d: %s", e.Line, e.Msg)
+	}
+	return "ciscoconf: " + e.Msg
+}
+
 // Parse parses one device configuration.
 func Parse(text string) (*DeviceConfig, error) {
 	cfg := &DeviceConfig{
@@ -75,7 +91,7 @@ func Parse(text string) (*DeviceConfig, error) {
 			continue
 		}
 		errf := func(format string, args ...interface{}) error {
-			return fmt.Errorf("ciscoconf: line %d: "+format, append([]interface{}{lineNo + 1}, args...)...)
+			return &ParseError{Line: lineNo + 1, Msg: fmt.Sprintf(format, args...)}
 		}
 
 		if !indented {
@@ -156,7 +172,7 @@ func Parse(text string) (*DeviceConfig, error) {
 		}
 	}
 	if cfg.Hostname == "" {
-		return nil, fmt.Errorf("ciscoconf: missing hostname")
+		return nil, &ParseError{Msg: "missing hostname"}
 	}
 	return cfg, nil
 }

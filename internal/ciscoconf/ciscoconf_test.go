@@ -1,6 +1,7 @@
 package ciscoconf_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -94,6 +95,39 @@ ip access-list extended T
 	}
 	if rules[5].Match.Proto != header.Proto(89) {
 		t.Fatalf("rule 5 proto = %v", rules[5].Match.Proto)
+	}
+}
+
+// TestParseErrorStructured pins the structured-error contract: every
+// rejection is a *ParseError carrying the offending 1-based line (0 for
+// file-level errors such as a missing hostname), and the rendered message
+// keeps the "ciscoconf: line N:" prefix tools grep for.
+func TestParseErrorStructured(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+	}{
+		{"bad statement", "hostname X\nfrobnicate\n", 2},
+		{"bad mask", "hostname X\nip access-list extended T\n  permit ip 10.0.0.0 0.255.0.255 any\n", 3},
+		{"orphan indent", "hostname X\n  permit ip any any\n", 2},
+		{"missing hostname", "interface e0\n", 0},
+	}
+	for _, c := range cases {
+		_, err := ciscoconf.Parse(c.src)
+		if err == nil {
+			t.Fatalf("%s: Parse accepted %q", c.name, c.src)
+		}
+		var pe *ciscoconf.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: Parse returned %T, want *ParseError: %v", c.name, err, err)
+		}
+		if pe.Line != c.line {
+			t.Errorf("%s: line %d, want %d (%v)", c.name, pe.Line, c.line, err)
+		}
+		if c.line > 0 && !strings.Contains(err.Error(), "ciscoconf: line ") {
+			t.Errorf("%s: message lost its prefix: %v", c.name, err)
+		}
 	}
 }
 

@@ -1,11 +1,14 @@
 package ciscoconf
 
 import (
+	"errors"
 	"testing"
 )
 
-// FuzzParse exercises the IOS-dialect parser for panics.
-func FuzzParse(f *testing.F) {
+// FuzzParseCisco exercises the IOS-dialect parser: no input may panic
+// it, and every rejection must be a structured *ParseError. The on-disk
+// corpus lives in testdata/fuzz/FuzzParseCisco.
+func FuzzParseCisco(f *testing.F) {
 	seeds := []string{
 		"hostname R\nip access-list extended X\n  permit ip any any\n",
 		"hostname R\ninterface e0\n  ip access-group X in\n",
@@ -14,11 +17,25 @@ func FuzzParse(f *testing.F) {
 		"! comment only",
 		"hostname",
 		"  orphan indent",
+		"!000000000\nip",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		Parse(src) // must not panic
+		cfg, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse returned unstructured error %T: %v", err, err)
+			}
+			if pe.Line < 0 {
+				t.Fatalf("ParseError with negative line: %+v", pe)
+			}
+			return
+		}
+		if cfg.Hostname == "" {
+			t.Fatal("accepted config without hostname")
+		}
 	})
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"time"
+	"context"
 
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
@@ -24,6 +24,15 @@ type Violation struct {
 type CheckResult struct {
 	Consistent bool
 	Violations []Violation
+
+	// Complete reports whether every FEC the scan needed reached a
+	// verdict. When false, Consistent means only "no violation found
+	// among the decided FECs": the FECs in Unknown ran out of budget or
+	// were cancelled, and a consistent-but-incomplete result must not be
+	// treated as a proof. Unknown lists them ascending by FEC index — the
+	// canonical order partial results are reported in.
+	Complete bool
+	Unknown  []UnknownFEC
 
 	// FECs is the number of forwarding equivalence classes examined;
 	// SolvedFECs counts those whose Equation-3 query needed a solver
@@ -53,7 +62,16 @@ type CheckResult struct {
 // queries run concurrently (see CheckParallel). Repeated calls on the
 // same engine reuse the encoded queries and warmed solvers.
 func (e *Engine) Check() *CheckResult {
-	return e.checkWith(e.Opts.Workers)
+	return e.CheckContext(context.Background())
+}
+
+// CheckContext is Check under a cancellation scope: ctx's cancellation
+// (and Options.Deadline, whichever fires first) interrupts every solver
+// the call has in flight. FECs left without a verdict are reported in
+// CheckResult.Unknown with Complete=false, in canonical FEC order, and
+// are never cached — a later unrestricted call re-solves them.
+func (e *Engine) CheckContext(ctx context.Context) *CheckResult {
+	return e.checkWith(ctx, e.Opts.Workers)
 }
 
 // CheckParallel is Check with the per-FEC Equation-3 queries fanned out
@@ -66,17 +84,25 @@ func (e *Engine) Check() *CheckResult {
 // from a deterministic witness pass over the violating FECs in FEC
 // order, independent of worker scheduling.
 func (e *Engine) CheckParallel(workers int) *CheckResult {
-	return e.checkWith(workers)
+	return e.checkWith(context.Background(), workers)
 }
 
-func (e *Engine) checkWith(workers int) *CheckResult {
+// CheckParallelContext is CheckParallel under a cancellation scope (see
+// CheckContext).
+func (e *Engine) CheckParallelContext(ctx context.Context, workers int) *CheckResult {
+	return e.checkWith(ctx, workers)
+}
+
+func (e *Engine) checkWith(callCtx context.Context, workers int) *CheckResult {
 	o := e.obsv()
+	cn, endCall := e.beginCall(callCtx)
+	defer endCall()
 	attrs := []obs.Attr{obs.KV("mode", "sequential")}
 	if workers > 1 {
 		attrs = []obs.Attr{obs.KV("mode", "parallel"), obs.KV("workers", workers)}
 	}
 	root := e.startSpan("check", attrs...)
-	res := &CheckResult{Consistent: true, Timings: Timings{}}
+	res := &CheckResult{Consistent: true, Complete: true, Timings: Timings{}}
 
 	pre := startPhase(root, res.Timings, "preprocess")
 	ctx := e.checkContext(o)
@@ -104,11 +130,12 @@ func (e *Engine) checkWith(workers int) *CheckResult {
 	var hits []int
 	var last int
 	if workers > 1 {
-		hits, last = e.solveParallel(ctx, res, root, o, workers)
+		hits, last = e.solveParallel(cn, ctx, res, root, o, workers)
 	} else {
-		hits, last = e.solveSequential(ctx, res, root, o)
+		hits, last = e.solveSequential(cn, ctx, res, root, o)
 	}
 	res.SolvedFECs = solvedFECs(ctx, last)
+	collectUnknown(ctx, res, last, o)
 
 	// Witness extraction: each violating FEC's counterexample is the
 	// canonical one — re-derived on a fresh builder and solver, a pure
@@ -150,15 +177,19 @@ func (e *Engine) checkWith(workers int) *CheckResult {
 // discharging pre-filtered FECs, and deciding pending queries on the
 // session's persistent incremental solver — stopping at the first
 // violation unless FindAllViolations is set. Resolution is lazy, so an
-// early stop skips all work for the remaining FECs. Returns ascending
-// violating FEC indices and the last FEC index examined.
-func (e *Engine) solveSequential(ctx *checkCtx, res *CheckResult, root *obs.Span, o *obs.Observer) ([]int, int) {
+// early stop skips all work for the remaining FECs. A budget-exhausted
+// FEC is marked Unknown and the scan continues (one pathological query
+// must not starve the rest); a cancellation marks everything undecided
+// Unknown and stops. Returns ascending violating FEC indices and the
+// last FEC index examined.
+func (e *Engine) solveSequential(cn *canceller, ctx *checkCtx, res *CheckResult, root *obs.Span, o *obs.Observer) ([]int, int) {
 	sp := startPhase(root, res.Timings, "solve")
 	sess := ctx.sess
 	if sess.seq == nil {
 		sess.seq = smt.SolverOn(sess.enc.b)
 	}
 	solver := sess.seq
+	cn.register(solver)
 	base := solver.Stats()
 	task := o.StartTask("check: FECs", int64(len(ctx.fecs)))
 	hist := o.Histogram("check.fec_solve_ns")
@@ -168,6 +199,17 @@ func (e *Engine) solveSequential(ctx *checkCtx, res *CheckResult, root *obs.Span
 	decided := 0
 scan:
 	for i := 0; i < len(ctx.fecs); i++ {
+		if cn.cancelled() {
+			// The call is dead: everything not yet decided in the scan's
+			// range is Unknown — including unresolved FECs, whose verdicts
+			// this call can no longer establish.
+			for ; i < len(ctx.fecs); i++ {
+				if st := ctx.states[i]; st == fecUnresolved || st == fecPending {
+					ctx.markUnknown(i, reasonCancelled)
+				}
+			}
+			break
+		}
 		switch e.resolveFEC(ctx, i) {
 		case fecViolating:
 			// Replayed (or decided by an earlier call) violating verdict:
@@ -180,17 +222,12 @@ scan:
 			}
 		case fecPending:
 			j := ctx.jobs[ctx.jobOf[i]]
-			var t1 time.Time
-			if hist != nil {
-				t1 = time.Now()
-			}
-			satisfiable := solver.Decide(j.query)
-			if hist != nil {
-				hist.Observe(time.Since(t1).Nanoseconds())
+			gotVerdict, satisfiable := e.decideJob(cn, solver, ctx, j, o, hist)
+			if !gotVerdict {
+				continue
 			}
 			decided++
 			task.Add(1)
-			ctx.finishJob(j, satisfiable)
 			if satisfiable {
 				hits = append(hits, i)
 				if !e.Opts.FindAllViolations {

@@ -103,6 +103,26 @@ type Options struct {
 	// path adds no allocations to the solve hot loop (guarded by a
 	// testing.AllocsPerRun test in internal/obs).
 	Obs *obs.Observer
+	// Deadline, when positive, bounds each primitive call's wall-clock
+	// time: the call runs under a context with this timeout, and on
+	// expiry every in-flight solver query is interrupted. Check reports
+	// the undecided FECs in CheckResult.Unknown (partial results stay in
+	// canonical order and are never cached); fix and generate refuse to
+	// emit a plan and return ErrUnknownVerdicts. Combines with any
+	// deadline already on the caller's context (the earlier one wins).
+	Deadline time.Duration
+	// PerFECBudget, when positive, caps the SAT conflicts a single
+	// solver query (one FEC's Equation-3 decision, one fix seek
+	// iteration, one generate AEC attempt) may spend before it is
+	// declared Unknown. Exhaustion is retried with a 4x larger budget up
+	// to MaxRetries times; the solver resumes rather than restarts, so
+	// escalation wastes no work. Bounds the damage of one pathological
+	// FEC without giving up on the rest of the check.
+	PerFECBudget int64
+	// MaxRetries is how many times an Unknown query (budget exhausted,
+	// injected timeout, transient fault) is retried before the Unknown
+	// becomes final. 0 means no retries. Cancellation is never retried.
+	MaxRetries int
 	// Verdicts, when set, is the cross-engine FEC verdict cache that
 	// makes re-checks incremental: engines bound to the same Before/
 	// Scope/controls/encoding configuration replay cached per-FEC
@@ -123,6 +143,11 @@ func DefaultOptions() Options {
 		UseGrouping:       true,
 		SimplifyOutput:    true,
 		UseSearchTree:     true,
+		// Two escalating retries make a tight PerFECBudget useful: the
+		// solver resumes across attempts, so the allowance effectively
+		// grows 1x -> 4x -> 16x before an Unknown becomes final. Inert
+		// on the happy path (no budget, no faults, no deadline).
+		MaxRetries: 2,
 	}
 }
 

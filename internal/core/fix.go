@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"jinjing/internal/acl"
+	"jinjing/internal/faultinject"
 	"jinjing/internal/header"
 	"jinjing/internal/obs"
 	"jinjing/internal/sat"
@@ -56,7 +58,22 @@ type FixResult struct {
 // neighborhoods and synthesizes a minimal fixing plan restricted to the
 // engine's Allow bindings, then verifies the result.
 func (e *Engine) Fix() (*FixResult, error) {
+	return e.FixContext(context.Background())
+}
+
+// FixContext is Fix under a cancellation scope: ctx's cancellation (and
+// Options.Deadline, whichever fires first) interrupts every solver in
+// flight, and Options.PerFECBudget bounds each seek and placement
+// query. A fixing plan is all-or-nothing — if any FEC's queries end
+// Unknown, no plan is emitted and the returned error is an
+// *ErrUnknownVerdicts naming the blocking FECs in canonical order: a
+// plan built on unknown verdicts could silently skip real violations.
+// The internal verification check runs under the same ctx with its own
+// Deadline allowance.
+func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 	o := e.obsv()
+	cn, endCall := e.beginCall(callCtx)
+	defer endCall()
 	root := e.startSpan("fix")
 	defer root.End() // idempotent; covers the error returns
 	res := &FixResult{Timings: Timings{}}
@@ -127,15 +144,20 @@ func (e *Engine) Fix() (*FixResult, error) {
 	// identical for every worker count — the property the CLI golden test
 	// pins. (A budget-b prefix of a budget-maxN run equals the budget-b
 	// run: the seek loop's iterations don't depend on the budget.)
+	var blocked []UnknownFEC
 	if workers := e.Opts.Workers; workers > 1 {
 		outcomes := make([]fecFixOutcome, len(fecs))
-		runParallel(workers, len(fecs), func(i int) {
-			outcomes[i] = e.fixFEC(ctx, i, &cons, allowSet, maxN)
+		runParallel(o, workers, len(fecs), func(i int) {
+			outcomes[i] = e.fixFEC(cn, ctx, i, &cons, allowSet, maxN)
 			task.Add(1)
 		})
-		for _, out := range outcomes {
+		for i, out := range outcomes {
 			if out.err != nil {
 				return nil, out.err
+			}
+			if out.unknown != "" {
+				blocked = append(blocked, UnknownFEC{FEC: i, Classes: fecs[i].Classes, Reason: out.unknown})
+				continue
 			}
 			if err := apply(out); err != nil {
 				return nil, err
@@ -144,10 +166,14 @@ func (e *Engine) Fix() (*FixResult, error) {
 	} else {
 		for i := range fecs {
 			task.Add(1)
-			out := e.fixFEC(ctx, i, &cons, allowSet,
+			out := e.fixFEC(cn, ctx, i, &cons, allowSet,
 				maxN-len(res.Neighborhoods)-len(res.Unfixable))
 			if out.err != nil {
 				return nil, out.err
+			}
+			if out.unknown != "" {
+				blocked = append(blocked, UnknownFEC{FEC: i, Classes: fecs[i].Classes, Reason: out.unknown})
+				continue
 			}
 			if err := apply(out); err != nil {
 				return nil, err
@@ -157,6 +183,10 @@ func (e *Engine) Fix() (*FixResult, error) {
 	task.Done()
 	sp.end(obs.KV("neighborhoods", len(res.Neighborhoods)),
 		obs.KV("unfixable", len(res.Unfixable)))
+	if len(blocked) > 0 {
+		sortUnknown(blocked)
+		return nil, &ErrUnknownVerdicts{Stage: "fix", FECs: blocked}
+	}
 
 	// Simplify the ACLs the plan touched (§4.2 extension).
 	if e.Opts.SimplifyOutput {
@@ -194,8 +224,8 @@ func (e *Engine) Fix() (*FixResult, error) {
 	recordCacheStats(o, res.Stats) // fix's own skips; the check records its own
 	vp := startPhase(root, res.Timings, "verify")
 	ver := e.derived(fixed, vp.sp)
-	cr := ver.Check()
-	res.Verified = cr.Consistent
+	cr := ver.CheckContext(callCtx)
+	res.Verified = cr.Consistent && cr.Complete
 	// The verification check recorded its own sat.* metrics; fold its
 	// counters into this primitive's aggregate too.
 	res.SolverStats.Add(cr.SolverStats)
@@ -226,22 +256,28 @@ func simplifyBounded(a *acl.ACL) *acl.ACL {
 // nbOutcome is the solved placement for one neighborhood: the fixing
 // actions (empty when the after decisions already suffice), or
 // ok=false when no placement exists under the allow constraints.
+// unknown != "" means the placement query reached no verdict
+// (cancelled or budget-exhausted) — the FEC blocks the plan.
 type nbOutcome struct {
 	nb      header.Match
 	ok      bool
 	actions []FixAction
 	stats   sat.Stats
+	unknown string
 }
 
 // fecFixOutcome is one FEC's complete fix sub-result: neighborhood
 // outcomes in discovery order, the seeking solver's counters, and the
-// incremental-verification skips taken for this FEC.
+// incremental-verification skips taken for this FEC. unknown != ""
+// means a seek or placement query reached no verdict and says why; the
+// FEC blocks the whole plan (see FixContext).
 type fecFixOutcome struct {
 	entries []nbOutcome
 	iters   int64
 	seek    sat.Stats
 	cache   CacheStats
 	err     error
+	unknown string
 }
 
 // seekNeighborhoods runs the §4.2 loop for one FEC on the given shared
@@ -250,7 +286,7 @@ type fecFixOutcome struct {
 // exhausted or budget outcomes have accumulated. It only reads engine
 // state, so it is safe to call from worker goroutines as long as each
 // worker owns its encoder and solver.
-func (e *Engine) seekNeighborhoods(fec topo.FEC, diff []acl.Rule, encodeACLs map[string][2]*acl.ACL, consBase *constancy, allowSet map[string]bool, budget int, enc *encoder, solver *smt.Solver) fecFixOutcome {
+func (e *Engine) seekNeighborhoods(cn *canceller, fec topo.FEC, diff []acl.Rule, encodeACLs map[string][2]*acl.ACL, consBase *constancy, allowSet map[string]bool, budget int, enc *encoder, solver *smt.Solver) fecFixOutcome {
 	var out fecFixOutcome
 	if budget <= 0 {
 		return out
@@ -262,12 +298,21 @@ func (e *Engine) seekNeighborhoods(fec topo.FEC, diff []acl.Rule, encodeACLs map
 	if viol == smt.False {
 		return out
 	}
+	o := e.obsv()
+	cn.register(solver)
 	seekBase := solver.Stats()
 	base := enc.b.And(viol, enc.classPred(fec.Classes))
 	consBase.priors = consBase.priors[:0]
 	for len(out.entries) < budget {
 		out.iters++
-		if !solver.Solve(base) {
+		r := e.solveWithRetries(cn, solver, o, faultinject.FixSeek, true, base)
+		if r.Outcome == sat.Unknown {
+			// No verdict on this seek: the FEC's remaining violations (if
+			// any) are undiscovered, so the whole FEC blocks the plan.
+			out.unknown = r.Reason
+			break
+		}
+		if r.Outcome == sat.Unsat {
 			break
 		}
 		h := solver.Packet(enc.pv)
@@ -277,12 +322,16 @@ func (e *Engine) seekNeighborhoods(fec topo.FEC, diff []acl.Rule, encodeACLs map
 		} else {
 			nb = expandNeighborhood(h, fec, consBase)
 		}
-		o, err := e.solveNeighborhood(fec, nb, allowSet)
+		no, err := e.solveNeighborhood(cn, fec, nb, allowSet)
 		if err != nil {
 			out.err = err
 			return out
 		}
-		out.entries = append(out.entries, o)
+		if no.unknown != "" {
+			out.unknown = no.unknown
+			break
+		}
+		out.entries = append(out.entries, no)
 		// Later neighborhoods must stay disjoint from this one, or
 		// their fixing rules would shadow each other.
 		consBase.priors = append(consBase.priors, nb)
@@ -307,7 +356,7 @@ func (e *Engine) seekNeighborhoods(fec topo.FEC, diff []acl.Rule, encodeACLs map
 // cold run's. What fix learns (a seek verdict, a pre-filter discharge)
 // is inserted into the cache, warming the verification check and later
 // pipeline stages.
-func (e *Engine) fixFEC(ctx *checkCtx, i int, consBase *constancy, allowSet map[string]bool, budget int) fecFixOutcome {
+func (e *Engine) fixFEC(cn *canceller, ctx *checkCtx, i int, consBase *constancy, allowSet map[string]bool, budget int) fecFixOutcome {
 	fec := ctx.fecs[i]
 	if budget <= 0 || (e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff)) {
 		// Skip before paying for the per-FEC builder.
@@ -337,6 +386,11 @@ func (e *Engine) fixFEC(ctx *checkCtx, i int, consBase *constancy, allowSet map[
 			return fecFixOutcome{cache: CacheStats{PrefilterDischarged: 1}}
 		}
 	}
+	if cn.cancelled() {
+		// The call is dead and this FEC would need solving: don't pay for
+		// the per-FEC builder just to have its first query interrupted.
+		return fecFixOutcome{unknown: reasonCancelled}
+	}
 	cons := constancy{
 		acls: consBase.acls, ctrls: consBase.ctrls,
 		dstLos: consBase.dstLos, dstHis: consBase.dstHis,
@@ -344,8 +398,8 @@ func (e *Engine) fixFEC(ctx *checkCtx, i int, consBase *constancy, allowSet map[
 	}
 	enc := newEncoder(e.Opts.UseTournament, e.obsv())
 	solver := smt.SolverOn(enc.b)
-	out := e.seekNeighborhoods(fec, ctx.diff, ctx.encodeACLs, &cons, allowSet, budget, enc, solver)
-	if ctx.vc != nil && out.err == nil {
+	out := e.seekNeighborhoods(cn, fec, ctx.diff, ctx.encodeACLs, &cons, allowSet, budget, enc, solver)
+	if ctx.vc != nil && out.err == nil && out.unknown == "" {
 		// The seek verdict is the check verdict: the loop's base query is
 		// exactly the FEC's Equation-3 query, so iters==0 means a
 		// structurally-False violation formula (check would discharge) and
@@ -365,9 +419,10 @@ func (e *Engine) fixFEC(ctx *checkCtx, i int, consBase *constancy, allowSet map[
 // of bindings changed, honoring the allow constraints. It reads only
 // immutable engine state and returns the plan instead of applying it,
 // so sequential and parallel fix paths share it.
-func (e *Engine) solveNeighborhood(fec topo.FEC, nb header.Match, allowSet map[string]bool) (nbOutcome, error) {
+func (e *Engine) solveNeighborhood(cn *canceller, fec topo.FEC, nb header.Match, allowSet map[string]bool) (nbOutcome, error) {
 	out := nbOutcome{nb: nb}
 	s := smt.NewSolver()
+	cn.register(s)
 	b := s.B
 
 	// Decision variable or constant per binding on the FEC's paths.
@@ -417,9 +472,17 @@ func (e *Engine) solveNeighborhood(fec topo.FEC, nb header.Match, allowSet map[s
 			costs = append(costs, vars[id])
 		}
 	}
-	_, ok := s.SolveMinimize(costs)
+	var bgt sat.Budget
+	if e.Opts.PerFECBudget > 0 {
+		bgt.Conflicts = e.Opts.PerFECBudget
+	}
+	_, r := s.SolveMinimizeLimited(bgt, costs)
 	out.stats = s.Stats()
-	if !ok {
+	if r.Outcome == sat.Unknown {
+		out.unknown = r.Reason
+		return out, nil
+	}
+	if r.Outcome != sat.Sat {
 		return out, nil
 	}
 	out.ok = true

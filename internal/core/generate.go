@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"jinjing/internal/acl"
+	"jinjing/internal/faultinject"
 	"jinjing/internal/header"
 	"jinjing/internal/obs"
 	"jinjing/internal/sat"
@@ -75,7 +77,19 @@ type decGroup struct {
 // engine's Allow bindings so that packet (or desired, under controls)
 // reachability is preserved.
 func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
+	return e.GenerateContext(context.Background(), sources)
+}
+
+// GenerateContext is Generate under a cancellation scope: ctx's
+// cancellation (and Options.Deadline) interrupts every solver in
+// flight, and Options.PerFECBudget bounds each AEC/DEC query. Like fix,
+// generation is all-or-nothing — if any AEC's query ends Unknown, no
+// plan is emitted and the returned error is an *ErrUnknownVerdicts
+// naming the blocking AEC indices in ascending order.
+func (e *Engine) GenerateContext(callCtx context.Context, sources []topo.ACLBinding) (*GenerateResult, error) {
 	o := e.obsv()
+	cn, endCall := e.beginCall(callCtx)
+	defer endCall()
 	root := e.startSpan("generate", obs.KV("sources", len(sources)))
 	defer root.End() // idempotent; covers the error returns
 	res := &GenerateResult{ACLs: map[string]*acl.ACL{}, Timings: Timings{}}
@@ -146,11 +160,18 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 		decSplit   bool
 		stats      sat.Stats
 		unsolvable []header.Match
+		unknown    string
 	}
 	solveOne := func(a *aec) aecOutcome {
 		var out aecOutcome
-		ok, st := e.solveAEC(a, paths, encIdx, srcSet, tgtSet, targetIDs)
+		ok, unk, st := e.solveAEC(cn, o, a, paths, encIdx, srcSet, tgtSet, targetIDs)
 		out.stats.Add(st)
+		if unk != "" {
+			// Undecided is not unsatisfiable: a DEC split on an Unknown
+			// verdict would be guesswork, so the AEC blocks the plan.
+			out.unknown = unk
+			return out
+		}
 		if ok {
 			a.solved = true
 			return out
@@ -177,8 +198,12 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 		for _, key := range order {
 			g := groups[key]
 			sub := &aec{key: a.key, classes: g.classes, decisions: a.decisions, ctrlIn: a.ctrlIn}
-			ok, st := e.solveAEC(sub, g.paths, encIdx, srcSet, tgtSet, targetIDs)
+			ok, unk, st := e.solveAEC(cn, o, sub, g.paths, encIdx, srcSet, tgtSet, targetIDs)
 			out.stats.Add(st)
+			if unk != "" {
+				out.unknown = unk
+				return out
+			}
 			if !ok {
 				out.unsolvable = append(out.unsolvable, g.classes...)
 				continue
@@ -193,14 +218,18 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	runParallel(workers, len(aecs), func(i int) {
+	runParallel(o, workers, len(aecs), func(i int) {
 		outcomes[i] = solveOne(aecs[i])
 		task.Add(1)
 	})
-	for _, out := range outcomes {
+	var blockedAECs []int
+	for i, out := range outcomes {
 		recordSolverStats(o, &res.SolverStats, out.stats)
 		if out.decSplit {
 			res.DECSplitAECs++
+		}
+		if out.unknown != "" {
+			blockedAECs = append(blockedAECs, i)
 		}
 		res.Unsolvable = append(res.Unsolvable, out.unsolvable...)
 	}
@@ -208,6 +237,9 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 	res.Conflicts = res.SolverStats.Conflicts
 	sp.end(obs.KV("dec_splits", res.DECSplitAECs), obs.KV("unsolvable", len(res.Unsolvable)))
 
+	if len(blockedAECs) > 0 {
+		return nil, &ErrUnknownVerdicts{Stage: "generate", AECs: blockedAECs}
+	}
 	if len(res.Unsolvable) > 0 {
 		// No valid plan for the intent (§5.3); report without synthesis.
 		return res, nil
@@ -252,8 +284,8 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 	// re-solve only the FECs whose synthesized ACLs changed.
 	vp := startPhase(root, res.Timings, "verify")
 	ver := e.derived(gen, vp.sp)
-	cr := ver.Check()
-	res.Verified = cr.Consistent
+	cr := ver.CheckContext(callCtx)
+	res.Verified = cr.Consistent && cr.Complete
 	// The verification check recorded its own sat.* metrics; fold its
 	// counters into this primitive's aggregate too.
 	res.SolverStats.Add(cr.SolverStats)
@@ -315,10 +347,13 @@ func (e *Engine) deriveAECs(encBindings []topo.ACLBinding, classes []header.Matc
 // solveAEC finds per-target decisions for one AEC (or DEC) over the given
 // path set, per Equations 8–10. Decision variables are phrased as "deny"
 // variables so that unconstrained targets default to permit (the SAT
-// solver branches false-first). Returns false when unsatisfiable, along
-// with the attempt's full solver counters.
-func (e *Engine) solveAEC(a *aec, paths []topo.Path, encIdx map[string]int, srcSet, tgtSet map[string]bool, targetIDs []string) (bool, sat.Stats) {
+// solver branches false-first). Returns ok=false when unsatisfiable, or
+// unknown != "" (and ok=false) when the query reached no verdict under
+// the call's budget/cancellation, along with the attempt's full solver
+// counters.
+func (e *Engine) solveAEC(cn *canceller, o *obs.Observer, a *aec, paths []topo.Path, encIdx map[string]int, srcSet, tgtSet map[string]bool, targetIDs []string) (ok bool, unknown string, st sat.Stats) {
 	s := smt.NewSolver()
+	cn.register(s)
 	b := s.B
 	denyVars := map[string]smt.F{}
 	for _, id := range targetIDs {
@@ -342,14 +377,18 @@ func (e *Engine) solveAEC(a *aec, paths []topo.Path, encIdx map[string]int, srcS
 		}
 		s.Assert(b.Iff(lhs, b.Const(e.desiredForAEC(a, p, encIdx))))
 	}
-	if !s.Solve() {
-		return false, s.Stats()
+	r := e.solveWithRetries(cn, s, o, faultinject.GenerateAEC, true)
+	if r.Outcome == sat.Unknown {
+		return false, r.Reason, s.Stats()
+	}
+	if r.Outcome != sat.Sat {
+		return false, "", s.Stats()
 	}
 	a.dec = make(map[string]bool, len(targetIDs))
 	for _, id := range targetIDs {
 		a.dec[id] = !s.Value(denyVars[id])
 	}
-	return true, s.Stats()
+	return true, "", s.Stats()
 }
 
 // desiredForAEC computes the (constant) desired decision of path p on an

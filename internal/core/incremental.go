@@ -46,6 +46,11 @@ const (
 	fecOK
 	// fecViolating: the query was SAT.
 	fecViolating
+	// fecUnknown: the query reached no verdict this call — its budget
+	// survived every retry or the call was cancelled. Never cached (the
+	// FEC's entry stays nil, so commitGeneration publishes nothing for
+	// it) and retried from scratch by the next call on this generation.
+	fecUnknown
 )
 
 // CacheStats reports the incremental-verification activity of one
@@ -297,6 +302,7 @@ func (e *Engine) prepareIncremental(ctx *checkCtx) {
 	n := len(ctx.fecs)
 	ctx.states = make([]fecState, n)
 	ctx.entries = make([]*fecVerdict, n)
+	ctx.unknownReason = make([]string, n)
 	ctx.jobOf = make([]int32, n)
 	for i := range ctx.jobOf {
 		ctx.jobOf[i] = -1
@@ -438,7 +444,18 @@ func (e *Engine) fecPrefiltered(ctx *checkCtx, fec topo.FEC) bool {
 // out); the resulting state is memoized.
 func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
 	if st := ctx.states[i]; st != fecUnresolved {
-		return st
+		if st != fecUnknown {
+			return st
+		}
+		// An earlier interrupted or budget-exhausted call left no
+		// verdict: this call retries. The encoded job (if any) is still
+		// valid — re-arm it as pending; otherwise resolve from scratch.
+		ctx.unknownReason[i] = ""
+		if ctx.jobOf[i] >= 0 {
+			ctx.states[i] = fecPending
+			return fecPending
+		}
+		ctx.states[i] = fecUnresolved
 	}
 	fec := ctx.fecs[i]
 	if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff) {
@@ -502,6 +519,16 @@ func (ctx *checkCtx) discharge(i int, key []uint64) {
 		ctx.entries[i] = ent
 		ctx.vc.insert(i, ent)
 	}
+}
+
+// markUnknown records that FEC i's query reached no verdict this call,
+// and why. Unlike finishJob it writes no cache entry: entries[i] stays
+// nil, so commitGeneration never publishes an Unknown as a verdict and
+// the next unrestricted run re-solves the FEC cold. Safe to call
+// concurrently for distinct FECs.
+func (ctx *checkCtx) markUnknown(i int, reason string) {
+	ctx.states[i] = fecUnknown
+	ctx.unknownReason[i] = reason
 }
 
 // finishJob records a solver verdict for one pending job. Safe to call

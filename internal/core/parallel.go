@@ -4,9 +4,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"jinjing/internal/acl"
+	"jinjing/internal/faultinject"
 	"jinjing/internal/obs"
 	"jinjing/internal/sat"
 	"jinjing/internal/smt"
@@ -61,8 +61,11 @@ type checkCtx struct {
 	incReady bool
 	states   []fecState
 	entries  []*fecVerdict
-	jobOf    []int32 // fecIdx -> index into jobs, -1 when none
-	jobs     []checkJob
+	// unknownReason says why states[i] == fecUnknown (cancelled, budget
+	// exhausted, ...). Workers write distinct indices concurrently.
+	unknownReason []string
+	jobOf         []int32 // fecIdx -> index into jobs, -1 when none
+	jobs          []checkJob
 	// protoJobs counts the jobs already clausified into the prototype
 	// this generation (unchanged cones hash-cons to already-clausified
 	// nodes, so re-clausification across generations is cheap).
@@ -145,16 +148,26 @@ func (e *Engine) checkContext(o *obs.Observer) *checkCtx {
 // ascending violating FEC indices (truncated to the first when
 // FindAllViolations is off, matching the sequential scan exactly) and
 // the last FEC index the scan semantically examined.
-func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, o *obs.Observer, workers int) ([]int, int) {
+func (e *Engine) solveParallel(cn *canceller, ctx *checkCtx, res *CheckResult, root *obs.Span, o *obs.Observer, workers int) ([]int, int) {
 	findAll := e.Opts.FindAllViolations
 
 	// Encode: resolve FECs in order — in first-violation mode only up to
 	// (and including) the first replayed violation, which bounds the
-	// answer exactly as the sequential scan's early stop would.
+	// answer exactly as the sequential scan's early stop would. A
+	// cancellation mid-encode marks everything not yet resolved Unknown
+	// (formula construction isn't worth finishing for a dead call).
 	ep := startPhase(root, res.Timings, "encode")
 	stop := len(ctx.fecs)
 	replayed := -1
 	for i := 0; i < len(ctx.fecs); i++ {
+		if cn.cancelled() {
+			for ; i < stop; i++ {
+				if st := ctx.states[i]; st == fecUnresolved || st == fecPending {
+					ctx.markUnknown(i, reasonCancelled)
+				}
+			}
+			break
+		}
 		if e.resolveFEC(ctx, i) == fecViolating && !findAll {
 			replayed = i
 			stop = i + 1
@@ -198,6 +211,31 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 	)
 	minHit.Store(int64(len(pend)))
 
+	// requeue holds jobs dropped by crashed workers: a worker that
+	// panics pushes the job it died on (plus, in find-all mode, the
+	// untouched remainder of its static slice) and exits; survivors
+	// drain the queue after their own work. If every worker dies, the
+	// sequential fallback below finishes whatever is still pending.
+	var (
+		reqMu   sync.Mutex
+		requeue []int
+	)
+	pushRequeue := func(ks ...int) {
+		reqMu.Lock()
+		requeue = append(requeue, ks...)
+		reqMu.Unlock()
+	}
+	popRequeue := func() (int, bool) {
+		reqMu.Lock()
+		defer reqMu.Unlock()
+		if len(requeue) == 0 {
+			return 0, false
+		}
+		k := requeue[len(requeue)-1]
+		requeue = requeue[:len(requeue)-1]
+		return k, true
+	}
+
 	// Hand each worker a pooled solver when one is idle; the rest fork
 	// the prototype inside their own goroutine, so the clause-database
 	// copies — the dominant fixed cost of fanning out — run concurrently
@@ -222,21 +260,27 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 				solver = sess.proto.Fork()
 				pool[w] = solver
 			}
+			cn.register(solver)
 			base := solver.Stats()
 			var nsolved int64
-			solveJob := func(k int) {
-				var t1 time.Time
-				if hist != nil {
-					t1 = time.Now()
+			crashed := false
+			// runJob decides one job, absorbing a panic (injected or
+			// real) into ok=false so the worker can hand its remaining
+			// jobs to the survivors instead of taking the check down.
+			runJob := func(k int) (ok bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						o.Counter("worker.panic.recovered").Inc()
+						ok = false
+					}
+				}()
+				if faultinject.Fire(faultinject.ParallelJob) == faultinject.Panic {
+					panic("faultinject: injected panic at " + string(faultinject.ParallelJob))
 				}
-				satisfiable := solver.Decide(pend[k].query)
-				if hist != nil {
-					hist.Observe(time.Since(t1).Nanoseconds())
-				}
+				decided, satisfiable := e.decideJob(cn, solver, ctx, pend[k], o, hist)
 				nsolved++
 				task.Add(1)
-				ctx.finishJob(pend[k], satisfiable)
-				if satisfiable && !findAll {
+				if decided && satisfiable && !findAll {
 					for {
 						cur := minHit.Load()
 						if int64(k) >= cur || minHit.CompareAndSwap(cur, int64(k)) {
@@ -244,6 +288,7 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 						}
 					}
 				}
+				return true
 			}
 			if findAll {
 				// Every pending job must be solved, so carve the list into
@@ -251,22 +296,52 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 				// region on every call, and its persistent solver's learned
 				// clauses stay matched to its queries.
 				n := len(pend)
-				for k := w * n / workers; k < (w+1)*n/workers; k++ {
-					solveJob(k)
+				lo, hi := w*n/workers, (w+1)*n/workers
+				for k := lo; k < hi; k++ {
+					if !runJob(k) {
+						rest := make([]int, 0, hi-k)
+						for j := k; j < hi; j++ {
+							rest = append(rest, j)
+						}
+						pushRequeue(rest...)
+						crashed = true
+						break
+					}
+				}
+				if !crashed {
+					for {
+						k, fromQueue := popRequeue()
+						if !fromQueue {
+							break
+						}
+						if !runJob(k) {
+							pushRequeue(k)
+							crashed = true
+							break
+						}
+					}
 				}
 			} else {
-				// First-violation mode: pull jobs dynamically and skip
-				// everything past the lowest hit found so far — it cannot
-				// be the answer.
+				// First-violation mode: drain crashed peers' jobs first,
+				// then pull fresh ones dynamically, skipping everything
+				// past the lowest hit found so far — it cannot be the
+				// answer.
 				for {
-					k := int(next.Add(1)) - 1
-					if k >= len(pend) {
-						break
+					k, fromQueue := popRequeue()
+					if !fromQueue {
+						k = int(next.Add(1)) - 1
+						if k >= len(pend) {
+							break
+						}
 					}
 					if int64(k) > minHit.Load() {
 						continue
 					}
-					solveJob(k)
+					if !runJob(k) {
+						pushRequeue(k)
+						crashed = true
+						break
+					}
 				}
 			}
 			mu.Lock()
@@ -275,11 +350,58 @@ func (e *Engine) solveParallel(ctx *checkCtx, res *CheckResult, root *obs.Span, 
 			if jobsHist != nil {
 				jobsHist.Observe(nsolved)
 			}
+			if crashed {
+				// A panic mid-search leaves the solver in an unspecified
+				// state; poison it so it never rejoins the pool.
+				pool[w] = nil
+			}
 		}(w)
 	}
 	wg.Wait()
+
+	// Sequential fallback: anything still pending means worker crashes
+	// outran the requeue — in the limit, the whole pool collapsed.
+	// Finish on the persistent sequential solver with no panic recovery:
+	// a bug deterministic enough to kill every worker should surface,
+	// not loop.
+	var seqBase sat.Stats
+	seqUsed := false
+	for k := range pend {
+		if ctx.states[pend[k].fecIdx] != fecPending {
+			continue
+		}
+		if !findAll && int64(k) > minHit.Load() {
+			continue
+		}
+		if cn.cancelled() {
+			ctx.markUnknown(pend[k].fecIdx, reasonCancelled)
+			continue
+		}
+		if !seqUsed {
+			if sess.seq == nil {
+				sess.seq = smt.SolverOn(sess.enc.b)
+			}
+			cn.register(sess.seq)
+			seqBase = sess.seq.Stats()
+			seqUsed = true
+		}
+		decided, satisfiable := e.decideJob(cn, sess.seq, ctx, pend[k], o, hist)
+		task.Add(1)
+		if decided && satisfiable && !findAll {
+			if cur := minHit.Load(); int64(k) < cur {
+				minHit.Store(int64(k))
+			}
+		}
+	}
+	if seqUsed {
+		agg.Add(statsSince(sess.seq.Stats(), seqBase))
+	}
 	task.Done()
-	sess.free = append(sess.free, pool...)
+	for _, s := range pool {
+		if s != nil {
+			sess.free = append(sess.free, s)
+		}
+	}
 	recordSolverStats(o, &res.SolverStats, agg)
 
 	// Merge deterministically from the per-FEC states: worker

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -55,6 +56,15 @@ func FromResolved(r *lai.Resolved, opts Options) *Engine {
 // the sources are the modify-to-permit-all bindings (the §5 migration
 // convention).
 func Run(r *lai.Resolved, opts Options) (*Report, error) {
+	return RunContext(context.Background(), r, opts)
+}
+
+// RunContext is Run under a cancellation scope: ctx (plus
+// Options.Deadline, applied per primitive call) bounds every command.
+// A check left incomplete is reported in its CheckResult (see Print's
+// UNDECIDED line); a fix or generate blocked by unknown verdicts
+// aborts the run with an *ErrUnknownVerdicts.
+func RunContext(ctx context.Context, r *lai.Resolved, opts Options) (*Report, error) {
 	if opts.Verdicts == nil {
 		// One program run is one session: check → fix → check pipelines
 		// share verdicts, so later stages re-solve only what earlier
@@ -69,9 +79,9 @@ func Run(r *lai.Resolved, opts Options) (*Report, error) {
 	for _, cmd := range r.Commands {
 		switch cmd {
 		case lai.Check:
-			rep.Checks = append(rep.Checks, e.Check())
+			rep.Checks = append(rep.Checks, e.CheckContext(ctx))
 		case lai.Fix:
-			fr, err := e.Fix()
+			fr, err := e.FixContext(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -86,7 +96,7 @@ func Run(r *lai.Resolved, opts Options) (*Report, error) {
 				return nil, fmt.Errorf("core: generate supports only 'modify ... to permit-all' requirements; %d of %d modified bindings use another form",
 					len(r.Modified)-len(r.Cleared), len(r.Modified))
 			}
-			gr, err := e.Generate(r.Cleared)
+			gr, err := e.GenerateContext(ctx, r.Cleared)
 			if err != nil {
 				return nil, err
 			}
@@ -104,16 +114,26 @@ func Run(r *lai.Resolved, opts Options) (*Report, error) {
 // Print writes a human-readable summary of the report.
 func (rep *Report) Print(w io.Writer) {
 	for _, c := range rep.Checks {
-		if c.Consistent {
+		switch {
+		case c.Consistent && c.Complete:
 			fmt.Fprintf(w, "check: consistent (%d FECs, %d solved)\n", c.FECs, c.SolvedFECs)
 			continue
+		case !c.Complete:
+			// Partial result: violations found so far plus the FECs that
+			// ran out of budget or were cancelled, in canonical FEC order.
+			fmt.Fprintf(w, "check: UNDECIDED (%d FECs, %d solved, %d unknown)\n",
+				c.FECs, c.SolvedFECs, len(c.Unknown))
+		default:
+			fmt.Fprintf(w, "check: INCONSISTENT (%d FECs, %d solved)\n", c.FECs, c.SolvedFECs)
 		}
-		fmt.Fprintf(w, "check: INCONSISTENT (%d FECs, %d solved)\n", c.FECs, c.SolvedFECs)
 		for _, v := range c.Violations {
 			fmt.Fprintf(w, "  counterexample %v\n", v.Packet)
 			for _, p := range v.Paths {
 				fmt.Fprintf(w, "    decision changed on %v\n", p)
 			}
+		}
+		for _, u := range c.Unknown {
+			fmt.Fprintf(w, "  undecided FEC %v: %s\n", u.Classes, u.Reason)
 		}
 	}
 	for _, f := range rep.Fixes {

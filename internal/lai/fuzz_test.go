@@ -1,15 +1,17 @@
 package lai_test
 
 import (
+	"errors"
 	"testing"
 
 	"jinjing/internal/lai"
 )
 
-// FuzzParse exercises the LAI parser with Go's native fuzzing (the seed
-// corpus runs as part of the normal test suite; `go test -fuzz=FuzzParse
+// FuzzParseLAI exercises the LAI parser with Go's native fuzzing (the
+// seed corpus — both f.Add and testdata/fuzz/FuzzParseLAI — runs as
+// part of the normal test suite; `go test -fuzz=FuzzParseLAI
 // ./internal/lai` explores further).
-func FuzzParse(f *testing.F) {
+func FuzzParseLAI(f *testing.F) {
 	seeds := []string{
 		"scope A:*\ncheck",
 		"scope A:1 and B:2\nallow A:*-in\nmodify A:1 to permit-all\ngenerate",
@@ -27,6 +29,15 @@ func FuzzParse(f *testing.F) {
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := lai.Parse(src)
 		if err != nil {
+			// Rejections must be structured: a *ParseError with a
+			// non-negative line, never a panic or an ad-hoc error type.
+			var pe *lai.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse returned unstructured error %T: %v", err, err)
+			}
+			if pe.Line < 0 {
+				t.Fatalf("ParseError with negative line: %+v", pe)
+			}
 			return
 		}
 		// Any accepted program must format and re-parse without panicking

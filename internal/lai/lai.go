@@ -265,7 +265,7 @@ func lex(src string) ([]token, error) {
 				j++
 			}
 			if j == i {
-				return nil, fmt.Errorf("lai: line %d: unexpected character %q", line, c)
+				return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
 			}
 			toks = append(toks, token{tokWord, src[i:j], line})
 			i = j
@@ -296,8 +296,25 @@ func (p *parser) skipSemis() {
 	}
 }
 
+// ParseError is the structured syntax error of the LAI parser: the
+// 1-based source line the parser stopped at (0 when the error is not
+// anchored to a line, e.g. a program with no command) and a message.
+// Every error returned by Parse is a *ParseError, so callers can
+// pinpoint the offending line programmatically.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("lai: line %d: %s", e.Line, e.Msg)
+	}
+	return "lai: " + e.Msg
+}
+
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("lai: line %d: "+format, append([]interface{}{p.peek().line}, args...)...)
+	return &ParseError{Line: p.peek().line, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Parse parses an LAI program.
@@ -357,7 +374,7 @@ func Parse(src string) (*Program, error) {
 		}
 	}
 	if len(prog.Commands) == 0 {
-		return nil, fmt.Errorf("lai: program has no command (check, fix, or generate)")
+		return nil, &ParseError{Msg: "program has no command (check, fix, or generate)"}
 	}
 	return prog, nil
 }
@@ -516,7 +533,7 @@ func (p *parser) parseACLDef(prog *Program) error {
 		case tokRBrace:
 			a, err := acl.Parse(strings.Join(parts, " "))
 			if err != nil {
-				return fmt.Errorf("lai: in acl %s: %v", name.text, err)
+				return &ParseError{Line: name.line, Msg: fmt.Sprintf("in acl %s: %v", name.text, err)}
 			}
 			prog.ACLDefs[name.text] = a
 			return nil

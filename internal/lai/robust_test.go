@@ -1,12 +1,45 @@
 package lai_test
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"jinjing/internal/lai"
 )
+
+// TestParseErrorStructured pins the structured-error contract: every
+// rejection is a *ParseError carrying the offending 1-based line (0 for
+// file-level errors), and the rendered message keeps the "lai: line N:"
+// prefix tools grep for.
+func TestParseErrorStructured(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+	}{
+		{"scope A:*\nbogus statement\ncheck", 2},
+		{"scope A:*\nacl x { deny dst nonsense, permit all }\ncheck", 2},
+		{"scope A:*\ncontrol A:1 B:2 isolate\ncheck", 2},
+		{"scope A:*", 0}, // no command: not anchored to a line
+	}
+	for _, c := range cases {
+		_, err := lai.Parse(c.src)
+		if err == nil {
+			t.Fatalf("Parse(%q) accepted", c.src)
+		}
+		var pe *lai.ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Parse(%q) returned %T, want *ParseError: %v", c.src, err, err)
+		}
+		if pe.Line != c.line {
+			t.Errorf("Parse(%q): line %d, want %d (%v)", c.src, pe.Line, c.line, err)
+		}
+		if c.line > 0 && !strings.Contains(err.Error(), "lai: line ") {
+			t.Errorf("Parse(%q): message lost its prefix: %v", c.src, err)
+		}
+	}
+}
 
 // TestParseNeverPanics: the parser must return errors, not panic, on
 // arbitrary garbage, truncations, and mutations of valid programs.

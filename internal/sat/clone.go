@@ -14,7 +14,9 @@ package sat
 // polluted by whatever the prototype already solved.
 //
 // Clone must be called at decision level 0 (i.e. outside Solve); the
-// solver is always at level 0 between Solve calls.
+// solver is always at level 0 between Solve calls. The clone does not
+// inherit the interrupt flag or any in-force budget: a fork handed to a
+// fresh worker starts unstoppered.
 func (s *Solver) Clone() *Solver {
 	if s.decisionLevel() != 0 {
 		panic("sat: Clone called during solving")

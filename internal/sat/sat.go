@@ -14,6 +14,7 @@ package sat
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Var is a boolean variable index, numbered from 0.
@@ -127,6 +128,14 @@ type Solver struct {
 	model []bool // last satisfying assignment
 
 	ok bool // false once the clause DB is unsat at level 0
+
+	// Cooperative stopping (see budget.go). interrupt may be set from
+	// another goroutine; the limits are absolute Stats thresholds valid
+	// for the current SolveLimited call only (0 = none).
+	interrupt  atomic.Bool
+	confLimit  int64
+	propLimit  int64
+	stopReason string
 
 	Stats Stats
 }
@@ -505,37 +514,29 @@ const restartBase = 100
 // assumption literals. It returns true (SAT) or false (UNSAT under the
 // assumptions). The solver can be reused: more clauses and variables may
 // be added afterwards, and Solve called again.
+//
+// Solve runs without a budget, so it can only be stopped by Interrupt —
+// an outcome its boolean result cannot express soundly. Callers that
+// may be interrupted must use SolveLimited; Solve panics if stopped.
 func (s *Solver) Solve(assumptions ...Lit) bool {
-	if !s.ok {
-		return false
+	r := s.SolveLimited(Budget{}, assumptions...)
+	if r.Outcome == Unknown {
+		panic("sat: unbudgeted Solve interrupted; use SolveLimited for cancellable solving")
 	}
-	s.backtrackTo(0)
-
-	maxLearnts := float64(len(s.clauses))/3 + 500
-	var restarts int64
-
-	for {
-		restarts++
-		budget := luby(restarts) * restartBase
-		status := s.search(assumptions, budget, &maxLearnts)
-		switch status {
-		case lTrue:
-			s.saveModelAndReset()
-			return true
-		case lFalse:
-			s.backtrackTo(0)
-			return false
-		}
-		s.Stats.Restarts++
-		maxLearnts *= 1.1
-	}
+	return r.Outcome == Sat
 }
 
-// search runs CDCL until SAT, UNSAT, or the conflict budget is exhausted
-// (returning lUndef to signal a restart).
+// search runs CDCL until SAT, UNSAT, or the per-restart conflict budget
+// is exhausted (returning lUndef to signal a restart). It also returns
+// lUndef with s.stopReason set when the call-level budget runs out or
+// the solver is interrupted (see budget.go).
 func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *float64) lbool {
 	var conflicts int64
 	for {
+		if s.stopRequested() {
+			s.backtrackTo(0)
+			return lUndef
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++
