@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race fuzz faults lint bench experiments examples vet fmt clean
+.PHONY: all build test test-full race fuzz fuzz-backends faults lint bench experiments examples vet fmt clean
 
 all: build vet test
 
@@ -36,6 +36,14 @@ race:
 # sequential-vs-parallel fix agreement corpus.
 fuzz:
 	$(GO) test -count=1 -run 'TestFuzz|TestFixParallelMatchesSequential' ./internal/core
+
+# Three-way backend lane: the fixed 160-case differential corpus
+# (forced SAT vs forced pset vs auto-parallel vs monolithic, witness
+# replay included), then 30 seconds of open-ended native fuzzing over
+# random networks, edits, and option toggles.
+fuzz-backends:
+	$(GO) test -count=1 -run TestFuzzBackendThreeWay ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzBackendAgreement -fuzztime 30s ./internal/core
 
 # Fault-injection lane: every TestFault* scenario (solver timeouts,
 # transient faults, worker panics, pool collapse, deadline cancellation)

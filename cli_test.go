@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -153,7 +154,10 @@ func TestCLIObservability(t *testing.T) {
 	if !strings.Contains(string(out), "sat.conflicts") {
 		t.Fatalf("-metrics output missing from stderr:\n%s", out)
 	}
-	for _, counter := range []string{"fec.cache.hits", "fec.cache.misses", "prefilter.discharged"} {
+	for _, counter := range []string{
+		"fec.cache.hits", "fec.cache.misses", "prefilter.discharged",
+		"backend.pset.selected", "backend.sat.selected", "backend.bailout",
+	} {
 		if !strings.Contains(string(out), counter) {
 			t.Fatalf("-metrics output missing incremental counter %s:\n%s", counter, out)
 		}
@@ -248,6 +252,90 @@ func TestCLIWorkersGolden(t *testing.T) {
 				workers, outputs[1], workers, outputs[workers])
 		}
 	}
+}
+
+// TestCLIBackendGolden pins the backend-identity contract at the CLI
+// surface: the same program run with -backend auto, sat, or pset — and
+// any worker count — must produce byte-identical stdout. The packet-set
+// backend answers the same Equation-3 queries the solver does and the
+// counterexamples come from the shared canonical witness pass, so the
+// backend can change only cost, never a byte a user sees. The -metrics
+// counters double-check the forced backends actually answered.
+func TestCLIBackendGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run builds binaries; skipped in -short mode")
+	}
+	netgenBin := buildTool(t, "jinjing-netgen")
+	jinjingBin := buildTool(t, "jinjing")
+	dir := t.TempDir()
+
+	before := filepath.Join(dir, "net.json")
+	after := filepath.Join(dir, "net-after.json")
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-out", before)
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-perturb", "4", "-out", after)
+	prog := filepath.Join(dir, "checkfix.lai")
+	writeProgram(t, prog, "check\nfix\n")
+
+	capture := func(backend string, workers int) (string, string) {
+		cmd := exec.Command(jinjingBin,
+			"-topo", before, "-updated", after, "-program", prog,
+			"-all-violations", "-metrics",
+			"-backend", backend, "-workers", itoa(workers),
+		)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("-backend %s -workers %d failed: %v\n%s%s",
+				backend, workers, err, stdout.String(), stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "verified=true") {
+			t.Fatalf("-backend %s: expected a verified fix:\n%s", backend, stdout.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+
+	golden, satMetrics := capture("sat", 1)
+	if v := metricValue(t, satMetrics, "backend.sat.selected"); v == 0 {
+		t.Fatalf("forced SAT answered no queries:\n%s", satMetrics)
+	}
+	if v := metricValue(t, satMetrics, "backend.pset.selected"); v != 0 {
+		t.Fatalf("forced SAT still used the pset backend %d times:\n%s", v, satMetrics)
+	}
+	var psetMetrics string
+	for _, c := range []struct {
+		backend string
+		workers int
+	}{{"sat", 8}, {"pset", 1}, {"pset", 8}, {"auto", 1}, {"auto", 8}} {
+		out, metrics := capture(c.backend, c.workers)
+		if out != golden {
+			t.Errorf("-backend %s -workers %d stdout differs from -backend sat -workers 1:\n--- sat/1 ---\n%s\n--- %s/%d ---\n%s",
+				c.backend, c.workers, golden, c.backend, c.workers, out)
+		}
+		if c.backend == "pset" && c.workers == 1 {
+			psetMetrics = metrics
+		}
+	}
+	if v := metricValue(t, psetMetrics, "backend.pset.selected"); v == 0 {
+		t.Fatalf("forced pset answered no queries:\n%s", psetMetrics)
+	}
+}
+
+// metricValue extracts one counter from a -metrics stderr dump.
+func metricValue(t *testing.T, dump, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(dump, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("counter %s has non-numeric value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s missing from -metrics dump:\n%s", name, dump)
+	return 0
 }
 
 // TestCLIResourceLimits drives the -timeout/-fec-budget/-max-retries

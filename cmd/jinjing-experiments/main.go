@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		large      = flag.Bool("large", false, "include the large network (minutes of runtime)")
-		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,inc,t5")
+		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,inc,backend,t5")
 		jsonPath   = flag.String("json", "", "also write the rows as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -116,6 +116,20 @@ func main() {
 		}
 		report.Incremental = experiments.FigIncrementalCheck(incSizes)
 		experiments.PrintIncrementalRows(os.Stdout, report.Incremental)
+		fmt.Println()
+	}
+	if want["backend"] {
+		// Like "par", the backend figure skips the small network: its
+		// turnaround is microsecond-scale and fixed per-call costs
+		// dominate either backend's decision time.
+		beSizes := make([]netgen.Size, 0, len(sizes))
+		for _, s := range sizes {
+			if s != netgen.Small {
+				beSizes = append(beSizes, s)
+			}
+		}
+		report.Backend = experiments.FigBackendCheck(beSizes)
+		experiments.PrintBackendRows(os.Stdout, report.Backend)
 		fmt.Println()
 	}
 	if want["t5"] {

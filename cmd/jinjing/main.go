@@ -48,6 +48,7 @@ func main() {
 		findAll     = flag.Bool("all-violations", false, "report one violation per forwarding equivalence class")
 		emitIOS     = flag.Bool("emit-ios", false, "print fixed/generated ACLs as Cisco-IOS access lists")
 		workers     = flag.Int("workers", 1, "parallel workers for check, fix, and generate")
+		backendName = flag.String("backend", "auto", "per-FEC equivalence backend: auto, sat, or pset (verdicts and output are identical; only cost differs)")
 		explain     = flag.Bool("explain", false, "print hop-by-hop decision traces for each violation")
 
 		timeout    = flag.Duration("timeout", 0, "wall-clock deadline per primitive call (0 = none); expired checks report UNDECIDED FECs, fix/generate refuse their plan")
@@ -108,11 +109,16 @@ func main() {
 	if *noOpt {
 		engineOpts = core.Options{FindAllViolations: *findAll, Workers: *workers}
 	}
-	// Resource limits apply in every optimization mode, so set them after
-	// the -no-optimizations reset.
+	// Resource limits and the backend choice apply in every optimization
+	// mode, so set them after the -no-optimizations reset.
 	engineOpts.Deadline = *timeout
 	engineOpts.PerFECBudget = *fecBudget
 	engineOpts.MaxRetries = *maxRetries
+	backend, err := core.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	engineOpts.Backend = backend
 
 	observer, finish, err := setupObservability(*tracePath, *traceText, *showMetrics, *progress, *cpuProfile, *memProfile)
 	if err != nil {

@@ -1,0 +1,633 @@
+package core
+
+import (
+	"fmt"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/header"
+	"jinjing/internal/pset"
+	"jinjing/internal/topo"
+)
+
+// This file is the per-FEC backend selector: the check pipeline can
+// answer an Equation-3 query either on the Tseitin+CDCL stack (the SAT
+// backend) or directly in the packet-set algebra (the pset backend),
+// and in auto mode picks per FEC from cheap structural heuristics. Both
+// backends are complete on the queries they accept; the pset backend
+// additionally bails out to SAT when a cube budget is exceeded
+// mid-solve, so the choice can never change a verdict — only its cost.
+// Counterexamples always come from the canonical witness pass
+// (witnessFEC), which re-solves violating FECs on a fresh solver; that
+// keeps reported violations byte-identical across backends and doubles
+// as a cross-check: a pset verdict the solver disagrees with panics
+// rather than mis-reports.
+
+// Backend selects the decision procedure for per-FEC Equation-3
+// queries. The zero value is auto-selection.
+type Backend uint8
+
+const (
+	// BackendAuto picks per FEC: the packet-set algebra when the FEC's
+	// structural profile (rule mass, field diversity) predicts a small
+	// cube count, the solver otherwise.
+	BackendAuto Backend = iota
+	// BackendSAT forces the Tseitin+CDCL stack for every query.
+	BackendSAT
+	// BackendPset forces the packet-set algebra wherever its cube budget
+	// allows, falling back to SAT only on bail-out.
+	BackendPset
+)
+
+// String renders the backend the way the -backend flag spells it.
+func (b Backend) String() string {
+	switch b {
+	case BackendSAT:
+		return "sat"
+	case BackendPset:
+		return "pset"
+	default:
+		return "auto"
+	}
+}
+
+// ParseBackend parses a -backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "auto", "":
+		return BackendAuto, nil
+	case "sat":
+		return BackendSAT, nil
+	case "pset":
+		return BackendPset, nil
+	}
+	return BackendAuto, fmt.Errorf("unknown backend %q (want auto, sat, or pset)", s)
+}
+
+// psetCubeBudget is the hard cube cap for the pset backend: any set
+// construction or per-path difference that exceeds it abandons the FEC
+// to the solver. It bounds the algebra's worst case (cube counts can be
+// exponential in rule count) without giving up its common case.
+const psetCubeBudget = 512
+
+// psetMaxRules gates per-binding set construction: an ACL pair beyond
+// this rule mass is not worth attempting even against the cube budget.
+const psetMaxRules = 192
+
+// Auto-selection thresholds, calibrated against the WAN generator's ACL
+// shapes (tens of rules per binding, mostly destination-prefix matches
+// with occasional source/port/protocol constraints): rule mass is the
+// dominant cost driver, and each non-destination constraint can split
+// cubes across one more dimension during subtraction. The limits are
+// generous because per-binding sets and per-path differences are
+// memoized across the FECs that share them — the selector only needs to
+// route the genuinely field-diverse, high-mass profiles (where cube
+// construction would mostly end in bail-outs) straight to the solver.
+const (
+	autoRuleLimit     = 2048
+	autoCubeEstimate  = 4096
+	autoFieldCubeCost = 3
+)
+
+// bindingSet memoizes one binding's encoded before/after decision
+// functions as packet sets — the single ACL→Set construction shared by
+// the SAT-free pre-filter's exact leg and the complete pset backend —
+// plus their symmetric difference, which falls out of the equality
+// subtraction for free and anchors the backend's per-FEC fast path.
+type bindingSet struct {
+	ok            bool // both sets built within psetCubeBudget
+	before, after pset.Set
+	equal         bool     // before and after denote the same packets
+	diff          pset.Set // before ⊖ after (empty when equal)
+}
+
+// aclSetEntry is one ACL's memoized bounded set construction.
+type aclSetEntry struct {
+	s  pset.Set
+	ok bool
+}
+
+// aclFPSetEntry is one fingerprint bucket member of the ACL-level set
+// cache: a representative ACL (for the Equal collision check) and its
+// construction result.
+type aclFPSetEntry struct {
+	a   *acl.ACL
+	ent aclSetEntry
+}
+
+// permittedSetOf returns the ACL's bounded permitted set, memoized by
+// pointer with a fingerprint+Equal fallback for structurally equal
+// clones — the pset mirror of encoder.encodeACL. Callers hold psetMu.
+func (ctx *checkCtx) permittedSetOf(a *acl.ACL) (pset.Set, bool) {
+	if ent, ok := ctx.aclSets[a]; ok {
+		return ent.s, ent.ok
+	}
+	if ctx.aclSets == nil {
+		ctx.aclSets = map[*acl.ACL]aclSetEntry{}
+		ctx.aclSetsFP = map[uint64][]aclFPSetEntry{}
+	}
+	fp := a.Fingerprint()
+	for _, e := range ctx.aclSetsFP[fp] {
+		if e.a.Equal(a) {
+			ctx.aclSets[a] = e.ent
+			return e.ent.s, e.ent.ok
+		}
+	}
+	var ent aclSetEntry
+	if len(a.Rules) <= psetMaxRules {
+		ent.s, ent.ok = pset.PermittedSetBounded(a, psetCubeBudget)
+	}
+	ctx.aclSets[a] = ent
+	ctx.aclSetsFP[fp] = append(ctx.aclSetsFP[fp], aclFPSetEntry{a: a, ent: ent})
+	return ent.s, ent.ok
+}
+
+// bindingSets returns (building and memoizing on first use) the
+// binding's packet-set view. Safe for concurrent use: fix workers probe
+// the pre-filter concurrently.
+func (ctx *checkCtx) bindingSets(id string) *bindingSet {
+	ctx.psetMu.Lock()
+	defer ctx.psetMu.Unlock()
+	if bs, ok := ctx.bindSets[id]; ok {
+		return bs
+	}
+	bs := &bindingSet{}
+	if pr, ok := ctx.encodeACLs[id]; ok {
+		switch {
+		case trivialPair(pr[0], pr[1], ctx.pairFPs[id]):
+			// Unchanged binding (the overwhelming majority under a small
+			// perturbation): one construction serves both sides and the
+			// difference is empty by construction — no subtraction runs.
+			if s, ok := ctx.permittedSetOf(pr[0]); ok {
+				bs.ok = true
+				bs.before, bs.after = s, s
+				bs.equal = true
+			}
+		default:
+			if before, ok := ctx.permittedSetOf(pr[0]); ok {
+				if after, ok := ctx.permittedSetOf(pr[1]); ok {
+					bs.ok = true
+					bs.before, bs.after = before, after
+					// The same ACL pair is bound at many interfaces;
+					// dedup the two subtractions by pointer pair.
+					if d, ok := ctx.pairDiffs[pr]; ok {
+						bs.diff = d
+					} else {
+						bs.diff = before.Subtract(after).Union(after.Subtract(before))
+						if ctx.pairDiffs == nil {
+							ctx.pairDiffs = map[[2]*acl.ACL]pset.Set{}
+						}
+						ctx.pairDiffs[pr] = bs.diff
+					}
+					bs.equal = bs.diff.IsEmpty()
+				}
+			}
+		}
+	} else {
+		// Unbound in both snapshots: permit-all either way.
+		bs.ok = true
+		bs.before, bs.after = pset.Universe(), pset.Universe()
+		bs.equal = true
+	}
+	if ctx.bindSets == nil {
+		ctx.bindSets = map[string]*bindingSet{}
+	}
+	ctx.bindSets[id] = bs
+	return bs
+}
+
+// pairSynUnchanged memoizes the purely syntactic equivalence test for
+// one binding's encoded pair — trivialPair without the exact set-
+// algebra leg. It classifies bindings for the pset backend: true means
+// provably unchanged; false means "treat as changed", which is always
+// sound (a semantically equal pair classified as changed contributes an
+// empty difference and restricts both products identically).
+func (ctx *checkCtx) pairSynUnchanged(id string) bool {
+	ctx.trivMu.Lock()
+	defer ctx.trivMu.Unlock()
+	if v, ok := ctx.pairSyn[id]; ok {
+		return v
+	}
+	v := true
+	if pr, ok := ctx.encodeACLs[id]; ok {
+		v = trivialPair(pr[0], pr[1], ctx.pairFPs[id])
+	}
+	if ctx.pairSyn == nil {
+		ctx.pairSyn = map[string]bool{}
+	}
+	ctx.pairSyn[id] = v
+	return v
+}
+
+// diffBound returns (memoized per ACL pair) the union of the pair's
+// differential rule matches: by Theorem 4.1, any packet the two ACLs
+// decide differently matches a differential rule, so this cube union is
+// a sound overapproximation of the pair's semantic difference —
+// computed from the rule lists alone, with no permitted-set
+// construction.
+func (ctx *checkCtx) diffBound(pr [2]*acl.ACL) pset.Set {
+	ctx.psetMu.Lock()
+	defer ctx.psetMu.Unlock()
+	if d, ok := ctx.diffBounds[pr]; ok {
+		return d
+	}
+	rules := acl.Differential(pr[0], pr[1])
+	ms := make([]header.Match, len(rules))
+	for i, r := range rules {
+		ms[i] = r.Match
+	}
+	d := pset.FromMatches(ms)
+	if ctx.diffBounds == nil {
+		ctx.diffBounds = map[[2]*acl.ACL]pset.Set{}
+	}
+	ctx.diffBounds[pr] = d
+	return d
+}
+
+// pairExactEqual is the pre-filter's exact set-algebra leg, sharing
+// the selector's ACL→Set machinery (diffBound, PermittedSetWithin): by
+// Theorem 4.1 the pair's semantic difference lies inside its
+// differential-rule bound, so the pair is equivalent iff the two
+// region-restricted permitted sets within that bound coincide. Cost
+// scales with the differential, not with the ACL's global cube
+// complexity, so the leg stays usable on rule lists far past the
+// global-set budget. false means inconclusive (budget bail-out), never
+// "provably different" — sound for a pre-filter either way.
+func (ctx *checkCtx) pairExactEqual(id string) bool {
+	pr, bound := ctx.encodeACLs[id]
+	if !bound {
+		return true
+	}
+	d := ctx.diffBound(pr)
+	ctx.psetMu.Lock()
+	defer ctx.psetMu.Unlock()
+	if v, ok := ctx.pairEq[pr]; ok {
+		return v
+	}
+	v := false
+	if d.IsEmpty() {
+		v = true
+	} else if wb, ok := pset.PermittedSetWithin(pr[0], d, psetCubeBudget); ok {
+		if wa, ok := pset.PermittedSetWithin(pr[1], d, psetCubeBudget); ok {
+			v = wb.Subtract(wa).IsEmpty() && wa.Subtract(wb).IsEmpty()
+		}
+	}
+	if ctx.pairEq == nil {
+		ctx.pairEq = map[[2]*acl.ACL]bool{}
+	}
+	ctx.pairEq[pr] = v
+	return v
+}
+
+// pathViolates decides one path's Equation-3 disjunct in the
+// control-free case (desired_p = c_p): does the path decide any packet
+// of the class region differently across the update? The test is
+// hierarchical so consistent FECs — the overwhelming majority — never
+// build a permitted set at all:
+//
+//  1. The path's symmetric difference is contained in the union of its
+//     changed pairs' differential-rule bounds (a packet deciding
+//     differently in a conjunction must decide differently in some
+//     conjunct, and a conjunct's difference lies inside its
+//     differential rules by Theorem 4.1), so region' = ⋃ region ∩
+//     bound_i overapproximates the packets the path can possibly flip
+//     within the region. Empty region' — every FEC whose classes miss
+//     the edited traffic — discharges on a cube overlap scan against
+//     rule matches.
+//  2. Within region', the changed pairs' exact difference is
+//     (region' ∩ ⋂ before_i) ⊖ (region' ∩ ⋂ after_i), with each factor
+//     built by the region-restricted first-match fold
+//     (PermittedSetWithin) — cost scales with region', not with the
+//     ACL's global cube complexity.
+//  3. The surviving difference must still pass every unchanged binding
+//     (restriction distributes: (A∩X) ⊖ (B∩X) = (A⊖B) ∩ X), again by
+//     region-restricted folds with early exit on empty.
+//
+// ok=false reports a cube-budget bail-out; the caller falls back to the
+// solver.
+func (e *Engine) pathViolates(ctx *checkCtx, p topo.Path, region pset.Set) (violating, ok bool) {
+	diff, ok := e.pathDiff(ctx, p, region)
+	if !ok {
+		return false, false
+	}
+	return !diff.IsEmpty(), true
+}
+
+// pathDiff computes the exact set of region packets the path decides
+// differently across the update — the set behind pathViolates's
+// verdict, and the set the canonical pset witness is drawn from. The
+// result is exact, not an overapproximation: within region' the changed
+// pairs' product difference is computed outright, step 3's folds
+// intersect it with each unchanged binding's permitted set (restriction
+// distributes over ⊖), and outside region' the path provably cannot
+// flip (Theorem 4.1).
+func (e *Engine) pathDiff(ctx *checkCtx, p topo.Path, region pset.Set) (pset.Set, bool) {
+	bindings := p.Bindings()
+	changed := make([][2]*acl.ACL, 0, len(bindings))
+	var unchangedIDs []string
+	regionPrime := pset.Empty()
+	for _, b := range bindings {
+		id := b.ID()
+		pr, bound := ctx.encodeACLs[id]
+		if !bound {
+			continue // no ACL in either snapshot
+		}
+		if ctx.pairSynUnchanged(id) {
+			unchangedIDs = append(unchangedIDs, id)
+			continue
+		}
+		changed = append(changed, pr)
+		db := ctx.diffBound(pr)
+		if region.Intersects(db) {
+			regionPrime = regionPrime.Union(region.Intersect(db))
+		}
+	}
+	if regionPrime.IsEmpty() {
+		return pset.Empty(), true
+	}
+	if regionPrime.Cubes() > psetCubeBudget {
+		return pset.Empty(), false
+	}
+	before, after := regionPrime, regionPrime
+	for _, pr := range changed {
+		wb, bok := pset.PermittedSetWithin(pr[0], regionPrime, psetCubeBudget)
+		if !bok {
+			return pset.Empty(), false
+		}
+		wa, aok := pset.PermittedSetWithin(pr[1], regionPrime, psetCubeBudget)
+		if !aok {
+			return pset.Empty(), false
+		}
+		before = before.Intersect(wb)
+		after = after.Intersect(wa)
+		if before.Cubes() > psetCubeBudget || after.Cubes() > psetCubeBudget {
+			return pset.Empty(), false
+		}
+	}
+	diff := before.Subtract(after).Union(after.Subtract(before))
+	for _, id := range unchangedIDs {
+		if diff.IsEmpty() {
+			return diff, true
+		}
+		if diff.Cubes() > psetCubeBudget {
+			return pset.Empty(), false
+		}
+		// The unchanged ACL's permitted set restricted to the surviving
+		// difference, computed directly within that (small) region — the
+		// binding's global set is never materialized. The before ACL
+		// stands for both snapshots: the pair is semantically equal.
+		pr := ctx.encodeACLs[id]
+		within, wok := pset.PermittedSetWithin(pr[0], diff, psetCubeBudget)
+		if !wok {
+			return pset.Empty(), false
+		}
+		diff = within
+	}
+	return diff, true
+}
+
+// backendForFEC picks the backend for one FEC. Force modes short-
+// circuit; auto estimates the pset cube blow-up from the FEC's
+// structural profile — total rule mass across the distinct encoded
+// pairs its paths traverse, weighted by how many non-destination fields
+// those rules constrain — and keeps the solver for FECs predicted to
+// blow past the cube budget anyway.
+func (e *Engine) backendForFEC(ctx *checkCtx, fec topo.FEC) Backend {
+	if e.Opts.Backend != BackendAuto {
+		return e.Opts.Backend
+	}
+	rules, extra := 0, 0
+	// Iterate hops directly and dedup on the comparable binding value:
+	// Path.Bindings would allocate a slice per path and ACLBinding.ID a
+	// string per visit, which over a large FEC's path set turns the
+	// selector itself into measurable overhead — in exactly the regime
+	// where it routes everything to the solver. The ID string is built
+	// once per distinct binding, for the encoded-pair lookup only.
+	seen := map[topo.ACLBinding]bool{}
+	for _, p := range fec.Paths {
+		for _, h := range p.Hops {
+			for _, b := range [2]topo.ACLBinding{{Iface: h.In, Dir: topo.In}, {Iface: h.Out, Dir: topo.Out}} {
+				if seen[b] {
+					continue
+				}
+				seen[b] = true
+				pr, ok := ctx.encodeACLs[b.ID()]
+				if !ok {
+					continue
+				}
+				prof := ctx.pairProfile(pr)
+				rules += prof[0]
+				extra += prof[1]
+				// The accumulators only grow, so the first threshold
+				// crossing settles the answer.
+				if rules > autoRuleLimit || rules+autoFieldCubeCost*extra > autoCubeEstimate {
+					return BackendSAT
+				}
+			}
+		}
+	}
+	return BackendPset
+}
+
+// pairProfile returns (memoized by pointer pair) the pair's structural
+// profile for auto-selection: total rule mass and the count of
+// non-destination field constraints across both snapshots. The same
+// pair is bound at many interfaces and traversed by many FECs, so
+// without the memo the selector's rule scan becomes a per-FEC cost that
+// shows up as pure overhead exactly where auto routes everything to the
+// solver (large, field-diverse networks).
+func (ctx *checkCtx) pairProfile(pr [2]*acl.ACL) [2]int {
+	ctx.psetMu.Lock()
+	defer ctx.psetMu.Unlock()
+	if v, ok := ctx.pairProf[pr]; ok {
+		return v
+	}
+	rules, extra := 0, 0
+	for _, a := range pr {
+		rules += len(a.Rules)
+		for _, r := range a.Rules {
+			if !r.Match.Src.IsAny() {
+				extra++
+			}
+			if !r.Match.SrcPort.IsAny() {
+				extra++
+			}
+			if !r.Match.DstPort.IsAny() {
+				extra++
+			}
+			if r.Match.Proto != header.AnyProto {
+				extra++
+			}
+		}
+	}
+	v := [2]int{rules, extra}
+	if ctx.pairProf == nil {
+		ctx.pairProf = map[[2]*acl.ACL][2]int{}
+	}
+	ctx.pairProf[pr] = v
+	return v
+}
+
+// psetDecideFEC decides the FEC's Equation-3 query in the packet-set
+// algebra: violating iff some path's desired decision set differs from
+// its after set within the FEC's class region — the set-level mirror of
+// ⋁_p ¬(desired_p ⇔ c'_p) ∧ ψ. ok=false reports a cube-budget bail-out
+// mid-solve; the caller falls back to the solver, and the verdict (when
+// ok) is exactly the one the solver would return.
+func (e *Engine) psetDecideFEC(ctx *checkCtx, fec topo.FEC) (violating, ok bool) {
+	region := pset.Empty()
+	for _, c := range fec.Classes {
+		region = region.Union(pset.FromMatch(header.DstMatch(c)))
+	}
+	if len(e.Controls) == 0 {
+		// Without controls, desired_p = c_p, so the FEC violates iff
+		// some path decides part of the class region differently across
+		// the update — decided per path by the hierarchical difference
+		// test, which keeps consistent FECs on small-set arithmetic.
+		for _, p := range fec.Paths {
+			violating, ok := e.pathViolates(ctx, p, region)
+			if !ok {
+				return false, false
+			}
+			if violating {
+				return true, true
+			}
+		}
+		return false, true
+	}
+	for _, p := range fec.Paths {
+		before, after, bok := e.pathSets(ctx, p, region)
+		if !bok {
+			return false, false
+		}
+		desired := e.desiredSet(p, before, region)
+		if desired.Cubes() > psetCubeBudget {
+			return false, false
+		}
+		if !desired.Equal(after) {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// pathSets computes the path's before/after decision sets restricted to
+// the FEC's class region: region ∩ ⋂_ξ permitted(ξ) over the encoded
+// bindings, mirroring the conjunction pathFormulas builds. Restricting
+// to the region first keeps intermediate cube counts near the region's
+// size instead of the full ACLs'.
+// psetWitnessFEC derives the canonical counterexample for a violating
+// control-free FEC in the set algebra: the least packet (pset.MinPacket
+// order) of the first violating path's exact difference set. Like
+// witnessFEC it is a pure function of the FEC and the encoded ACL
+// contents — and, critically, it is attempted for every violating FEC
+// regardless of which backend produced the verdict, so witnesses stay
+// byte-identical across backends, worker counts, and cache states.
+// ok=false (controls in scope, or a cube-budget bail-out before a
+// violating path is found) sends the caller to the solver pass, which
+// is equally backend-independent. The violated-paths list is completed
+// by concrete evaluation of every path on the chosen packet, mirroring
+// the model evaluation of the per-path Iffs in witnessFEC.
+func (e *Engine) psetWitnessFEC(ctx *checkCtx, fec topo.FEC) (Violation, bool) {
+	if len(e.Controls) > 0 {
+		return Violation{}, false
+	}
+	region := pset.Empty()
+	for _, c := range fec.Classes {
+		region = region.Union(pset.FromMatch(header.DstMatch(c)))
+	}
+	for _, p := range fec.Paths {
+		diff, ok := e.pathDiff(ctx, p, region)
+		if !ok {
+			return Violation{}, false
+		}
+		if diff.IsEmpty() {
+			continue
+		}
+		pkt, _ := diff.MinPacket()
+		v := Violation{Packet: pkt, Classes: fec.Classes}
+		for _, q := range fec.Paths {
+			if ctx.pathFlips(q, pkt) {
+				v.Paths = append(v.Paths, q)
+			}
+		}
+		if len(v.Paths) == 0 {
+			panic("core: pset witness does not flip any path")
+		}
+		return v, true
+	}
+	// No path's difference survived — disagrees with the violating
+	// verdict that prompted the witness request; let the solver pass
+	// adjudicate (it panics on a genuine disagreement).
+	return Violation{}, false
+}
+
+// pathFlips reports whether the path decides pkt differently across the
+// update, by direct rule-list evaluation: in the control-free case the
+// desired decision is the before-snapshot conjunction, so a flip is a
+// disagreement between the before and after conjunctions over the
+// path's bindings.
+func (ctx *checkCtx) pathFlips(p topo.Path, pkt header.Packet) bool {
+	before, after := true, true
+	for _, b := range p.Bindings() {
+		pr, ok := ctx.encodeACLs[b.ID()]
+		if !ok {
+			continue // unbound in both snapshots: permit-all either way
+		}
+		if !pr[0].Permits(pkt) {
+			before = false
+		}
+		if !pr[1].Permits(pkt) {
+			after = false
+		}
+		if !before && !after {
+			return false
+		}
+	}
+	return before != after
+}
+
+func (e *Engine) pathSets(ctx *checkCtx, p topo.Path, region pset.Set) (before, after pset.Set, ok bool) {
+	before, after = region, region
+	for _, b := range p.Bindings() {
+		if _, bound := ctx.encodeACLs[b.ID()]; !bound {
+			continue // no ACL in either snapshot
+		}
+		bs := ctx.bindingSets(b.ID())
+		if !bs.ok {
+			return before, after, false
+		}
+		before = before.Intersect(bs.before)
+		after = after.Intersect(bs.after)
+		if before.Cubes() > psetCubeBudget || after.Cubes() > psetCubeBudget {
+			return before, after, false
+		}
+	}
+	return before, after, true
+}
+
+// desiredSet is desiredFormula in the set algebra: controls fold in
+// reverse priority order over the original decision set, each rewriting
+// its matched region to the verb's value — Ite(match, val, out) becomes
+// (match ∩ val) ∪ (out ∖ match). All operands live inside the FEC's
+// class region, so Open's "true" is the region itself.
+func (e *Engine) desiredSet(p topo.Path, orig, region pset.Set) pset.Set {
+	out := orig
+	for i := len(e.Controls) - 1; i >= 0; i-- {
+		c := e.Controls[i]
+		if !c.AppliesTo(p) {
+			continue
+		}
+		var val pset.Set
+		switch c.Mode {
+		case Isolate:
+			val = pset.Empty()
+		case Open:
+			val = region
+		case Maintain:
+			val = orig
+		}
+		m := pset.FromMatch(c.Match)
+		out = m.Intersect(val).Union(out.Subtract(m))
+	}
+	return out
+}

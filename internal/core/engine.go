@@ -89,6 +89,17 @@ type Options struct {
 	// iterations in the worst case. Exists only for the ablation bench;
 	// use together with a small MaxNeighborhoods.
 	DisableExpansion bool
+	// Backend selects the decision procedure for per-FEC Equation-3
+	// queries: the Tseitin+CDCL stack, the packet-set algebra, or (the
+	// zero value) per-FEC auto-selection. Verdicts, counterexamples, and
+	// every reported count are identical whichever backend answers — the
+	// pset backend is complete on the queries it accepts and bails out
+	// to the solver on a cube-budget blow-up — so the choice (like
+	// Workers) can never change a result, only its cost. Cached verdicts
+	// are backend-agnostic for the same reason: the cache key doesn't
+	// mention the backend, and a verdict decided under one setting
+	// replays under any other.
+	Backend Backend
 	// Workers > 1 fans the solver loops of all three primitives out
 	// across that many goroutines: check's per-FEC Equation-3 queries
 	// (persistent forked-solver pool; see CheckParallel), fix's per-FEC

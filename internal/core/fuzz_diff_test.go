@@ -311,6 +311,95 @@ func TestFuzzCheckParallelAgreement(t *testing.T) {
 	t.Logf("%d cases, %d inconsistent", cases, inconsistent)
 }
 
+// TestFuzzBackendThreeWay is the backend agreement lane: for every
+// random case the three backend settings — forced SAT, forced pset, and
+// auto-selection (run through the parallel pipeline for good measure) —
+// must produce byte-identical check signatures: verdict, completeness,
+// counterexample packets, violating classes and paths, and SolvedFECs.
+// The monolithic baseline must agree on the verdict, and every reported
+// counterexample is replayed against both snapshots with the concrete
+// ACL evaluator: the packet must actually be decided differently by the
+// before and after chains of each divergent path. A witness that fails
+// replay means a backend found a "violation" no real packet exhibits.
+func TestFuzzBackendThreeWay(t *testing.T) {
+	cases := 160
+	if testing.Short() {
+		cases = 25
+	}
+	r := rand.New(rand.NewSource(9351))
+	inconsistent := 0
+	var psetDecided, satDecided int64
+	for iter := 0; iter < cases; iter++ {
+		before, scope, nPref := fuzzNet(r, true)
+		after := before.Clone()
+		fuzzEdit(r, after, nPref, true)
+
+		opts := core.DefaultOptions()
+		opts.FindAllViolations = iter%2 == 0
+		opts.UseDifferential = iter%3 != 0
+		opts.UseTournament = iter%4 == 0
+		mk := func(b core.Backend) core.Options {
+			o := opts
+			o.Backend = b
+			return o
+		}
+
+		resSat := core.New(before, after, scope, mk(core.BackendSAT)).Check()
+		want := checkSignature(resSat)
+		satDecided += resSat.Stats.SatSelected
+		if !resSat.Consistent {
+			inconsistent++
+		}
+
+		resPset := core.New(before, after, scope, mk(core.BackendPset)).Check()
+		psetDecided += resPset.Stats.PsetDecided
+		if got := checkSignature(resPset); got != want {
+			t.Fatalf("case %d: pset backend diverged from SAT\nsat:\n%s\npset:\n%s", iter, want, got)
+		}
+		if resPset.SolvedFECs != resSat.SolvedFECs {
+			t.Fatalf("case %d: pset SolvedFECs=%d, sat=%d", iter, resPset.SolvedFECs, resSat.SolvedFECs)
+		}
+
+		resAuto := core.New(before, after, scope, mk(core.BackendAuto)).CheckParallel(4)
+		if got := checkSignature(resAuto); got != want {
+			t.Fatalf("case %d: auto backend (parallel) diverged from SAT\nsat:\n%s\nauto:\n%s", iter, want, got)
+		}
+		if resAuto.SolvedFECs != resSat.SolvedFECs {
+			t.Fatalf("case %d: auto SolvedFECs=%d, sat=%d", iter, resAuto.SolvedFECs, resSat.SolvedFECs)
+		}
+
+		mono := core.New(before, after, scope, mk(core.BackendPset)).CheckMonolithic()
+		if mono.Consistent != resSat.Consistent {
+			t.Fatalf("case %d: CheckMonolithic=%v, backends=%v", iter, mono.Consistent, resSat.Consistent)
+		}
+
+		// Witness validity replay: no controls in the fuzz vocabulary, so
+		// desired = before, and a genuine counterexample is decided
+		// differently by the two snapshots on every divergent path.
+		for _, v := range resPset.Violations {
+			if len(v.Paths) == 0 {
+				t.Fatalf("case %d: violation %v reports no divergent path", iter, v.Packet)
+			}
+			for _, p := range v.Paths {
+				if pathPermits(before, p, v.Packet) == pathPermits(after, p, v.Packet) {
+					t.Fatalf("case %d: witness %v does not distinguish path %s", iter, v.Packet, p.Key())
+				}
+			}
+		}
+	}
+	if inconsistent == 0 {
+		t.Fatal("fuzz generator produced no inconsistent case; edits too weak to exercise violations")
+	}
+	if psetDecided == 0 {
+		t.Fatal("forced pset never decided a query; the complete backend is dead weight")
+	}
+	if satDecided == 0 {
+		t.Fatal("forced SAT never decided a query; the lane compares nothing")
+	}
+	t.Logf("%d cases, %d inconsistent, %d pset-decided FECs, %d sat jobs",
+		cases, inconsistent, psetDecided, satDecided)
+}
+
 // TestFuzzFirstViolationAgreement covers the FindAllViolations=false
 // path, whose parallel variant uses the min-hit early-exit: the first
 // violating FEC (and its counterexample) must match the sequential scan.
@@ -565,4 +654,69 @@ func TestFuzzIncrementalEditSequences(t *testing.T) {
 	}
 	t.Logf("%d cases x %d steps: %d replayed verdicts, %d steps with replays",
 		cases, steps, totalHits, totalReplayedSteps)
+}
+
+// FuzzBackendAgreement is the open-ended three-way lane behind `make
+// fuzz-backends`: each fuzz input seeds the random network and edit
+// generators plus the option toggles, and the case asserts what
+// TestFuzzBackendThreeWay pins on its fixed corpus — forced SAT, forced
+// pset, and auto-selection (parallel) produce identical check
+// signatures and solved-FEC counts, the monolithic baseline agrees on
+// the verdict, and every reported witness distinguishes each of its
+// paths across the update.
+func FuzzBackendAgreement(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(seed%6))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, mode uint8) {
+		r := rand.New(rand.NewSource(seed))
+		before, scope, nPref := fuzzNet(r, true)
+		after := before.Clone()
+		fuzzEdit(r, after, nPref, true)
+
+		opts := core.DefaultOptions()
+		opts.FindAllViolations = mode&1 == 0
+		opts.UseDifferential = mode&2 == 0
+		opts.UseTournament = mode&4 == 0
+		mk := func(b core.Backend) core.Options {
+			o := opts
+			o.Backend = b
+			return o
+		}
+
+		resSat := core.New(before, after, scope, mk(core.BackendSAT)).Check()
+		want := checkSignature(resSat)
+
+		resPset := core.New(before, after, scope, mk(core.BackendPset)).Check()
+		if got := checkSignature(resPset); got != want {
+			t.Fatalf("pset backend diverged from SAT\nsat:\n%s\npset:\n%s", want, got)
+		}
+		if resPset.SolvedFECs != resSat.SolvedFECs {
+			t.Fatalf("pset SolvedFECs=%d, sat=%d", resPset.SolvedFECs, resSat.SolvedFECs)
+		}
+
+		resAuto := core.New(before, after, scope, mk(core.BackendAuto)).CheckParallel(4)
+		if got := checkSignature(resAuto); got != want {
+			t.Fatalf("auto backend (parallel) diverged from SAT\nsat:\n%s\nauto:\n%s", want, got)
+		}
+		if resAuto.SolvedFECs != resSat.SolvedFECs {
+			t.Fatalf("auto SolvedFECs=%d, sat=%d", resAuto.SolvedFECs, resSat.SolvedFECs)
+		}
+
+		mono := core.New(before, after, scope, mk(core.BackendPset)).CheckMonolithic()
+		if mono.Consistent != resSat.Consistent {
+			t.Fatalf("CheckMonolithic=%v, backends=%v", mono.Consistent, resSat.Consistent)
+		}
+
+		for _, v := range resPset.Violations {
+			if len(v.Paths) == 0 {
+				t.Fatalf("violation %v reports no divergent path", v.Packet)
+			}
+			for _, p := range v.Paths {
+				if pathPermits(before, p, v.Packet) == pathPermits(after, p, v.Packet) {
+					t.Fatalf("witness %v does not distinguish path %s", v.Packet, p.Key())
+				}
+			}
+		}
+	})
 }

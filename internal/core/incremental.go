@@ -5,10 +5,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"jinjing/internal/acl"
 	"jinjing/internal/obs"
-	"jinjing/internal/pset"
 	"jinjing/internal/sat"
 	"jinjing/internal/smt"
 	"jinjing/internal/topo"
@@ -66,6 +66,13 @@ type CacheStats struct {
 	PrefilterDischarged int64
 	ChangedBindings     int
 	AffectedFECs        int
+
+	// Backend-selection activity: FECs the packet-set backend decided,
+	// FECs it abandoned mid-solve on a cube-budget bail-out, and FECs
+	// handed to the solver (whether selected for it or bailed out to it).
+	PsetDecided int64
+	PsetBailout int64
+	SatSelected int64
 }
 
 // add folds another primitive's stats in (fix aggregates its own
@@ -76,6 +83,9 @@ func (s *CacheStats) add(t CacheStats) {
 	s.PrefilterDischarged += t.PrefilterDischarged
 	s.ChangedBindings += t.ChangedBindings
 	s.AffectedFECs += t.AffectedFECs
+	s.PsetDecided += t.PsetDecided
+	s.PsetBailout += t.PsetBailout
+	s.SatSelected += t.SatSelected
 }
 
 // since returns the per-call delta against a baseline snapshot,
@@ -87,6 +97,9 @@ func (s CacheStats) since(base CacheStats) CacheStats {
 		PrefilterDischarged: s.PrefilterDischarged - base.PrefilterDischarged,
 		ChangedBindings:     s.ChangedBindings,
 		AffectedFECs:        s.AffectedFECs,
+		PsetDecided:         s.PsetDecided - base.PsetDecided,
+		PsetBailout:         s.PsetBailout - base.PsetBailout,
+		SatSelected:         s.SatSelected - base.SatSelected,
 	}
 }
 
@@ -95,6 +108,9 @@ func recordCacheStats(o *obs.Observer, s CacheStats) {
 	o.Counter("fec.cache.hits").Add(s.FECCacheHits)
 	o.Counter("fec.cache.misses").Add(s.FECCacheMisses)
 	o.Counter("prefilter.discharged").Add(s.PrefilterDischarged)
+	o.Counter("backend.pset.selected").Add(s.PsetDecided)
+	o.Counter("backend.sat.selected").Add(s.SatSelected)
+	o.Counter("backend.bailout").Add(s.PsetBailout)
 }
 
 // fecVerdict is one cached verdict: the FEC's content key, whether its
@@ -147,7 +163,9 @@ func NewVerdictCache() *VerdictCache { return &VerdictCache{} }
 // beyond the FEC content key: the encoding mode and the control
 // intents. (UseDifferential is deliberately absent — the key holds
 // fingerprints of the ACLs as encoded, related-filtered or not, so
-// equal keys mean equal formulas either way. Workers and
+// equal keys mean equal formulas either way. Backend is absent for the
+// same reason: both backends decide the same query, so a verdict is
+// backend-agnostic and survives a backend switch. Workers and
 // FindAllViolations cannot change any verdict.)
 func (e *Engine) cacheConfig() string {
 	var b strings.Builder
@@ -380,23 +398,34 @@ func (ctx *checkCtx) fecKey(fec topo.FEC) []uint64 {
 // pre-filter. Safe for concurrent use (fix workers share the memo).
 func (ctx *checkCtx) pairTrivialID(id string) bool {
 	ctx.trivMu.Lock()
-	defer ctx.trivMu.Unlock()
 	if v, ok := ctx.pairTriv[id]; ok {
+		ctx.trivMu.Unlock()
 		return v
 	}
+	ctx.trivMu.Unlock()
 	res := true
 	if pr, ok := ctx.encodeACLs[id]; ok {
 		res = trivialPair(pr[0], pr[1], ctx.pairFPs[id])
+		if !res {
+			// Exact set-algebra leg, sharing the pset backend's
+			// differential-bound construction (and its memo): the pair is
+			// equivalent iff its permitted sets coincide within the
+			// differential-rule bound.
+			res = ctx.pairExactEqual(id)
+		}
 	}
+	ctx.trivMu.Lock()
 	ctx.pairTriv[id] = res
+	ctx.trivMu.Unlock()
 	return res
 }
 
-// trivialPair layers the pre-filter cheapest-first: fingerprint plus
-// structural equality (the common cloned-but-unchanged case), syntactic
-// normalization (acl.TriviallyEquivalent: interval subsumption and
-// canonical reordering), then the bounded exact set-algebra check for
-// small ACLs. Sound: true guarantees decision-model equivalence.
+// trivialPair layers the pre-filter's syntactic legs cheapest-first:
+// fingerprint plus structural equality (the common cloned-but-unchanged
+// case), then normalization (acl.TriviallyEquivalent: interval
+// subsumption and canonical reordering). The exact set-algebra leg
+// lives in pairTrivialID, where its ACL→Set construction is shared with
+// the pset backend. Sound: true guarantees decision-model equivalence.
 func trivialPair(before, after *acl.ACL, fps [2]uint64) bool {
 	if before == after {
 		return true
@@ -404,16 +433,7 @@ func trivialPair(before, after *acl.ACL, fps [2]uint64) bool {
 	if fps[0] == fps[1] && before.Equal(after) {
 		return true
 	}
-	if acl.TriviallyEquivalent(before, after) {
-		return true
-	}
-	const maxRules, maxCubes = 24, 64
-	if len(before.Rules) <= maxRules && len(after.Rules) <= maxRules {
-		if eq, decided := pset.EquivalentACLsBounded(before, after, maxCubes); decided {
-			return eq
-		}
-	}
-	return false
+	return acl.TriviallyEquivalent(before, after)
 }
 
 // fecPrefiltered reports whether the SAT-free pre-filter discharges the
@@ -478,11 +498,32 @@ func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
 		ctx.discharge(i, key)
 		return fecDischarged
 	}
-	viol := e.fecViolationFormula(ctx.sess.enc, fec, ctx.encodeACLs)
-	if viol == smt.False {
-		ctx.discharge(i, key)
-		return fecDischarged
+	// Backend selection happens after the pre-filter discharge above, so
+	// the set of FECs that need a complete decision procedure — and with
+	// it SolvedFECs and every reported count — is identical whichever
+	// backend answers. The pset backend decides the query in the set
+	// algebra and skips formula construction, clausification, and CDCL
+	// search entirely; a cube-budget bail-out falls through to a solver
+	// job. (No backend consults the builder before this point: a formula-
+	// level discharge would force every FEC through formula construction
+	// and, being a property of encoder simplifications, could not be
+	// replicated exactly by the algebra — the solver disposes of the
+	// structurally-false queries the pre-filter misses just as cheaply.)
+	if e.backendForFEC(ctx, fec) == BackendPset {
+		start := time.Now()
+		if violating, ok := e.psetDecideFEC(ctx, fec); ok {
+			// Same per-FEC decision-latency histogram the solver path
+			// feeds: its count stays equal to a cold run's SolvedFECs
+			// whichever backend answers.
+			e.obsv().Histogram("check.fec_solve_ns").Observe(time.Since(start).Nanoseconds())
+			ctx.stats.PsetDecided++
+			ctx.finishVerdict(i, key, violating)
+			return ctx.states[i]
+		}
+		ctx.stats.PsetBailout++
 	}
+	ctx.stats.SatSelected++
+	viol := e.fecViolationFormula(ctx.sess.enc, fec, ctx.encodeACLs)
 	enc := ctx.sess.enc
 	ctx.jobOf[i] = int32(len(ctx.jobs))
 	ctx.jobs = append(ctx.jobs, checkJob{
@@ -531,19 +572,29 @@ func (ctx *checkCtx) markUnknown(i int, reason string) {
 	ctx.unknownReason[i] = reason
 }
 
+// finishVerdict records a complete-backend verdict — a solver's or the
+// packet-set engine's — for FEC i, caching it under its content key.
+// Cached entries are backend-agnostic: hadJob records only that the FEC
+// needed a complete decision procedure, so a verdict decided by one
+// backend replays identically under any other. Safe to call
+// concurrently for distinct FECs.
+func (ctx *checkCtx) finishVerdict(i int, key []uint64, violating bool) {
+	if violating {
+		ctx.states[i] = fecViolating
+	} else {
+		ctx.states[i] = fecOK
+	}
+	if ctx.vc != nil {
+		ent := &fecVerdict{key: key, hadJob: true, violating: violating}
+		ctx.entries[i] = ent
+		ctx.vc.insert(i, ent)
+	}
+}
+
 // finishJob records a solver verdict for one pending job. Safe to call
 // concurrently for distinct jobs (each job is decided exactly once).
 func (ctx *checkCtx) finishJob(j checkJob, satisfiable bool) {
-	if satisfiable {
-		ctx.states[j.fecIdx] = fecViolating
-	} else {
-		ctx.states[j.fecIdx] = fecOK
-	}
-	if ctx.vc != nil {
-		ent := &fecVerdict{key: j.key, hadJob: true, violating: satisfiable}
-		ctx.entries[j.fecIdx] = ent
-		ctx.vc.insert(j.fecIdx, ent)
-	}
+	ctx.finishVerdict(j.fecIdx, j.key, satisfiable)
 }
 
 // solvedFECs counts the FECs in [0, last] whose Equation-3 query needed
@@ -576,8 +627,17 @@ func (e *Engine) witnessFor(ctx *checkCtx, i int, res *CheckResult, o *obs.Obser
 			return *w, true
 		}
 	}
-	v, st := e.witnessFEC(ctx, i)
-	recordSolverStats(o, &res.SolverStats, st)
+	// The set-algebra witness is attempted first for every violating FEC
+	// whatever backend decided it — both derivations are pure functions
+	// of the FEC and ACL contents, so which one answers is itself
+	// backend-independent and the reported bytes stay identical across
+	// backends, worker counts, and cache states.
+	v, ok := e.psetWitnessFEC(ctx, ctx.fecs[i])
+	if !ok {
+		var st sat.Stats
+		v, st = e.witnessFEC(ctx, i)
+		recordSolverStats(o, &res.SolverStats, st)
+	}
 	ctx.wit[i] = &v
 	if ent != nil && ctx.vc != nil {
 		ctx.vc.memoWitness(ent, &v)

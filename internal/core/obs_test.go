@@ -43,6 +43,9 @@ func decodeSpans(t *testing.T, trace *bytes.Buffer) map[string][]obs.SpanRecord 
 func TestCheckObservability(t *testing.T) {
 	opts := core.DefaultOptions()
 	opts.FindAllViolations = true
+	// Force the solver backend: this test cross-checks solver-stat
+	// plumbing, which the pset backend (auto's pick here) never feeds.
+	opts.Backend = core.BackendSAT
 	trace, progress, m := obsHarness(&opts)
 	e := newRunningEngine(t, opts)
 	res := e.Check()
@@ -99,6 +102,9 @@ func TestCheckParallelObservability(t *testing.T) {
 	opts := core.DefaultOptions()
 	opts.FindAllViolations = true
 	opts.Workers = 4
+	// Force the solver backend: the test asserts per-worker solver-stat
+	// aggregation, which the pset backend never feeds.
+	opts.Backend = core.BackendSAT
 	trace, _, m := obsHarness(&opts)
 	e := newRunningEngine(t, opts)
 	res := e.Check()

@@ -8,6 +8,7 @@ import (
 	"jinjing/internal/acl"
 	"jinjing/internal/faultinject"
 	"jinjing/internal/obs"
+	"jinjing/internal/pset"
 	"jinjing/internal/sat"
 	"jinjing/internal/smt"
 	"jinjing/internal/topo"
@@ -74,10 +75,29 @@ type checkCtx struct {
 	// wit memoizes canonical witnesses per FEC for this generation.
 	wit map[int]*Violation
 
-	// trivMu guards pairTriv (fix workers probe the pre-filter
-	// concurrently).
+	// trivMu guards pairTriv and pairSyn (fix workers probe the
+	// pre-filter concurrently). pairSyn memoizes the purely syntactic
+	// equivalence legs (trivialPair) — the pset backend's changed/
+	// unchanged classification, which must never trigger the exact leg's
+	// set construction.
 	trivMu   sync.Mutex
 	pairTriv map[string]bool
+	pairSyn  map[string]bool
+
+	// psetMu guards bindSets and the ACL-level set cache shared by the
+	// pre-filter's exact leg and the complete pset backend. aclSets
+	// dedups set construction by ACL pointer (the same ACL is bound at
+	// many interfaces, so binding-level memoization alone rebuilds the
+	// same set per binding); aclSetsFP resolves structurally equal
+	// clones, mirroring the encoder's fingerprint fallback.
+	psetMu     sync.Mutex
+	bindSets   map[string]*bindingSet
+	aclSets    map[*acl.ACL]aclSetEntry
+	aclSetsFP  map[uint64][]aclFPSetEntry
+	pairDiffs  map[[2]*acl.ACL]pset.Set
+	diffBounds map[[2]*acl.ACL]pset.Set
+	pairEq     map[[2]*acl.ACL]bool
+	pairProf   map[[2]*acl.ACL][2]int
 
 	// Verdict-cache view for this generation: the bound cache, the
 	// change-impact bitmap (nil on the first generation), and the

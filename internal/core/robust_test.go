@@ -26,10 +26,13 @@ import (
 
 // findAllOpts is the fault lane's baseline configuration: the running
 // example with every violation reported, so partial results have
-// something to be partial about.
+// something to be partial about. The lane forces the SAT backend —
+// its faults wedge solver queries, and under auto-selection the
+// packet-set backend would answer them without ever touching a solver.
 func findAllOpts() core.Options {
 	opts := core.DefaultOptions()
 	opts.FindAllViolations = true
+	opts.Backend = core.BackendSAT
 	return opts
 }
 
@@ -421,6 +424,7 @@ check
 	opts := core.DefaultOptions()
 	opts.FindAllViolations = true
 	opts.MaxRetries = 0
+	opts.Backend = core.BackendSAT // the injected timeout wedges solver queries
 	faultinject.Schedule(faultinject.CheckSolve, faultinject.Timeout)
 	rep, err := core.RunContext(context.Background(), resolved, opts)
 	if err != nil {

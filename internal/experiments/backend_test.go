@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"jinjing/internal/netgen"
+)
+
+// TestFigBackendCheckSmall runs the backend-selection figure on the
+// small WAN (sub-second) and pins its invariants: one row per backend,
+// every call observationally identical to the sat arm, the auto arm
+// actually routing FECs to the packet-set engine, and the two arms
+// agreeing on the verdict shape. Timing ratios are NOT asserted here —
+// the small network's turnaround is at timer granularity; the medium
+// and large ratios live in BENCH_backend.json.
+func TestFigBackendCheckSmall(t *testing.T) {
+	rows := FigBackendCheck([]netgen.Size{netgen.Small})
+	if len(rows) != 2 {
+		t.Fatalf("expected one row per backend, got %d", len(rows))
+	}
+	if rows[0].Backend != "sat" || rows[1].Backend != "auto" {
+		t.Fatalf("unexpected backends: %q, %q", rows[0].Backend, rows[1].Backend)
+	}
+	sat, auto := rows[0], rows[1]
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("%s/%s: a call diverged from the sat arm's result", r.Size, r.Backend)
+		}
+	}
+	if sat.PsetDecided != 0 || sat.SatSelected == 0 {
+		t.Fatalf("sat arm used the pset backend: pset=%d sat=%d", sat.PsetDecided, sat.SatSelected)
+	}
+	if auto.PsetDecided == 0 {
+		t.Fatalf("auto arm never selected the pset backend (sat=%d bailout=%d)",
+			auto.SatSelected, auto.PsetBailout)
+	}
+	if auto.SolvedFECs != sat.SolvedFECs || auto.Violations != sat.Violations ||
+		auto.Consistent != sat.Consistent {
+		t.Fatalf("arms disagree: sat=%+v auto=%+v", sat, auto)
+	}
+}

@@ -663,6 +663,155 @@ func FigIncrementalCheck(sizes []netgen.Size) []IncrementalRow {
 	return rows
 }
 
+// BackendRow is one backend-selection measurement: the same workload
+// verified with the backend forced to SAT and with auto-selection (pset
+// where the per-FEC heuristic allows, SAT elsewhere). Cold and warm
+// medians are paired samples over interleaved calls, as in
+// FigIncrementalCheck.
+type BackendRow struct {
+	Size       netgen.Size `json:"size"`
+	PerturbPct float64     `json:"perturb_pct"`
+	Backend    string      `json:"backend"` // "sat" or "auto"
+	Consistent bool        `json:"consistent"`
+	FECs       int         `json:"fecs"`
+	SolvedFECs int         `json:"solved_fecs"`
+	Violations int         `json:"violations"`
+	// PsetDecided/PsetBailout/SatSelected are the backend counters of
+	// one cold call: how many complete decisions the packet-set engine
+	// took, how many it abandoned to SAT mid-solve on the cube budget,
+	// and how many went to a solver job.
+	PsetDecided int64 `json:"pset_decided"`
+	PsetBailout int64 `json:"pset_bailout"`
+	SatSelected int64 `json:"sat_selected"`
+	// ColdElapsed is the median over fresh-engine calls (each pays
+	// encoding plus its backend's decision procedure); WarmElapsed is
+	// the steady-state median on a persistent engine.
+	ColdElapsed time.Duration `json:"cold_elapsed_ns"`
+	WarmElapsed time.Duration `json:"warm_elapsed_ns"`
+	// ColdSpeedupVsSat/WarmSpeedupVsSat are relative to the sat row of
+	// the same size (1.0 on the sat row itself).
+	ColdSpeedupVsSat float64 `json:"cold_speedup_vs_sat"`
+	WarmSpeedupVsSat float64 `json:"warm_speedup_vs_sat"`
+	// Identical records that every result matched the sat arm's
+	// (verdict, violation packets, and paths) — the backends must be
+	// observationally indistinguishable.
+	Identical bool `json:"identical"`
+}
+
+// backendColdCalls is the number of fresh-engine calls behind each
+// BackendRow's cold median.
+const backendColdCalls = 7
+
+// FigBackendCheck measures per-FEC backend auto-selection against the
+// SAT-only baseline on the detection-dominated workload of
+// FigParallelCheck: basic mode (no Theorem 4.1 filtering, so every FEC
+// reaches a complete decision procedure), tournament encoding, find-all,
+// 5% perturbation, sequential. The cold arm builds a fresh engine for
+// every call — the one-shot CLI regime where the pset backend's skipped
+// clausification and CDCL search pay off most — and the warm arm holds
+// one engine per backend across repeated checks. Calls interleave
+// round-robin across the two arms so machine-wide drift lands on both
+// equally and the medians form paired samples; every result is compared
+// against the sat arm's signature.
+func FigBackendCheck(sizes []netgen.Size) []BackendRow {
+	const pct = 5
+	var rows []BackendRow
+	for _, size := range sizes {
+		w := GetWAN(size)
+		after := w.Perturb(Seed+int64(pct*10), pct)
+
+		mkOpts := func(b core.Backend, m *obs.Metrics) core.Options {
+			o := core.DefaultOptions()
+			o.UseDifferential = false
+			o.UseTournament = true
+			o.FindAllViolations = true
+			o.Backend = b
+			o.Obs = obs.NewObserver(nil, m, nil)
+			return o
+		}
+		type cell struct {
+			label              string
+			backend            core.Backend
+			m                  *obs.Metrics
+			res                *core.CheckResult
+			warm               *core.Engine
+			coldDurs, warmDurs []time.Duration
+			identical          bool
+		}
+		cells := []*cell{
+			{label: "sat", backend: core.BackendSAT, identical: true},
+			{label: "auto", backend: core.BackendAuto, identical: true},
+		}
+		for _, c := range cells {
+			c.m = obs.NewMetrics()
+		}
+
+		// Cold arm: a fresh engine per call, interleaved across backends.
+		// Engine construction and input preprocessing stay untimed (as in
+		// Fig. 4a); the timed region is encoding plus decision.
+		for i := 0; i < backendColdCalls; i++ {
+			for _, c := range cells {
+				e := core.New(w.Net, after, w.Scope, mkOpts(c.backend, c.m))
+				e.FECs()
+				t0 := time.Now()
+				c.res = e.Check()
+				c.coldDurs = append(c.coldDurs, time.Since(t0))
+			}
+		}
+		// Warm arm: persistent engines, one untimed priming call, then
+		// interleaved steady-state calls.
+		for _, c := range cells {
+			c.warm = core.New(w.Net, after, w.Scope, mkOpts(c.backend, c.m))
+			c.warm.FECs()
+			c.warm.Check()
+		}
+		for i := 0; i < parallelSteadyCalls; i++ {
+			for _, c := range cells {
+				t0 := time.Now()
+				res := c.warm.Check()
+				c.warmDurs = append(c.warmDurs, time.Since(t0))
+				if resultSignature(res) != resultSignature(c.res) {
+					c.identical = false
+				}
+			}
+		}
+		want := resultSignature(cells[0].res)
+
+		median := func(ds []time.Duration) time.Duration {
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			return ds[len(ds)/2]
+		}
+		var satCold, satWarm time.Duration
+		for _, c := range cells {
+			if resultSignature(c.res) != want {
+				c.identical = false
+			}
+			cold, warmD := median(c.coldDurs), median(c.warmDurs)
+			if c.label == "sat" {
+				satCold, satWarm = cold, warmD
+			}
+			row := BackendRow{
+				Size: size, PerturbPct: pct, Backend: c.label,
+				Consistent: c.res.Consistent, FECs: c.res.FECs,
+				SolvedFECs: c.res.SolvedFECs, Violations: len(c.res.Violations),
+				PsetDecided: c.res.Stats.PsetDecided,
+				PsetBailout: c.res.Stats.PsetBailout,
+				SatSelected: c.res.Stats.SatSelected,
+				ColdElapsed: cold, WarmElapsed: warmD,
+				Identical: c.identical,
+			}
+			if satCold > 0 && cold > 0 {
+				row.ColdSpeedupVsSat = float64(satCold) / float64(cold)
+			}
+			if satWarm > 0 && warmD > 0 {
+				row.WarmSpeedupVsSat = float64(satWarm) / float64(warmD)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
 // Table5Row is one LAI program-size measurement.
 type Table5Row struct {
 	Size       netgen.Size `json:"size"`
@@ -756,7 +905,10 @@ type BenchReport struct {
 	// Incremental is the warm-vs-cold re-check figure
 	// (BENCH_incremental.json when run with -figures inc).
 	Incremental []IncrementalRow `json:"incremental,omitempty"`
-	Table5      []Table5Row      `json:"table5,omitempty"`
+	// Backend is the auto-vs-sat backend-selection figure
+	// (BENCH_backend.json when run with -figures backend).
+	Backend []BackendRow `json:"backend,omitempty"`
+	Table5  []Table5Row  `json:"table5,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -839,6 +991,19 @@ func PrintIncrementalRows(w io.Writer, rows []IncrementalRow) {
 }
 
 // PrintTable5 formats Table 5.
+// PrintBackendRows formats backend auto-selection results.
+func PrintBackendRows(w io.Writer, rows []BackendRow) {
+	fmt.Fprintf(w, "Backend selection — auto (pset where eligible) vs sat-only (basic mode, find-all, 5%% perturbation)\n")
+	fmt.Fprintf(w, "%-8s %-8s %6s %7s %6s %6s %8s %5s %10s %10s %9s %9s %9s\n",
+		"size", "backend", "FECs", "solved", "viols", "pset", "bailout", "sat", "cold", "warm", "cold-spd", "warm-spd", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-8s %6d %7d %6d %6d %8d %5d %10v %10v %8.2fx %8.2fx %9v\n",
+			r.Size, r.Backend, r.FECs, r.SolvedFECs, r.Violations,
+			r.PsetDecided, r.PsetBailout, r.SatSelected,
+			r.ColdElapsed, r.WarmElapsed, r.ColdSpeedupVsSat, r.WarmSpeedupVsSat, r.Identical)
+	}
+}
+
 func PrintTable5(w io.Writer, rows []Table5Row) {
 	fmt.Fprintf(w, "Table 5 — LAI program line count per experiment\n")
 	fmt.Fprintf(w, "%-8s %-16s %6s\n", "size", "experiment", "lines")

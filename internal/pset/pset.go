@@ -2,12 +2,16 @@
 // header space: sets are finite unions of Match cubes (per-field
 // prefix/range constraints), closed under intersection, subtraction, and
 // complement. It is an independent decision procedure for the questions
-// the SMT stack answers (ACL equivalence, region emptiness), used to
-// cross-validate the solver pipeline in tests — two implementations with
-// unrelated failure modes deciding the same queries.
+// the SMT stack answers (ACL equivalence, region emptiness): the check
+// pipeline's complete packet-set backend and SAT-free pre-filter run on
+// it, and the tests cross-validate it against the solver pipeline — two
+// implementations with unrelated failure modes deciding the same
+// queries.
 package pset
 
 import (
+	"sort"
+
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
 )
@@ -29,12 +33,54 @@ func FromMatch(m header.Match) Set {
 	return Set{cubes: []header.Match{m}}
 }
 
+// FromMatches returns the union of the given match cubes in canonical
+// form.
+func FromMatches(ms []header.Match) Set {
+	return Set{cubes: canonicalize(append([]header.Match(nil), ms...))}
+}
+
 // IsEmpty reports whether the set contains no packets. Cubes are
 // non-empty by construction, so this is a length check.
 func (s Set) IsEmpty() bool { return len(s.cubes) == 0 }
 
 // Cubes returns the number of cubes (a size measure for tests).
 func (s Set) Cubes() int { return len(s.cubes) }
+
+// MinPacket returns the least packet in the set under the field-order
+// (SrcIP, DstIP, SrcPort, DstPort, Proto). Every cube is a product of
+// per-field ranges, so its least packet is its low corner and the set's
+// least packet is the least corner over its cubes — a pure function of
+// the set's semantics, independent of the cube decomposition, which is
+// what makes it usable as a canonical witness. ok=false on the empty
+// set.
+func (s Set) MinPacket() (header.Packet, bool) {
+	if len(s.cubes) == 0 {
+		return header.Packet{}, false
+	}
+	best := s.cubes[0].SamplePacket()
+	for _, c := range s.cubes[1:] {
+		if p := c.SamplePacket(); packetLess(p, best) {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// packetLess orders packets by the fixed field order MinPacket documents.
+func packetLess(a, b header.Packet) bool {
+	switch {
+	case a.SrcIP != b.SrcIP:
+		return a.SrcIP < b.SrcIP
+	case a.DstIP != b.DstIP:
+		return a.DstIP < b.DstIP
+	case a.SrcPort != b.SrcPort:
+		return a.SrcPort < b.SrcPort
+	case a.DstPort != b.DstPort:
+		return a.DstPort < b.DstPort
+	default:
+		return a.Proto < b.Proto
+	}
+}
 
 // Contains reports whether packet p is in the set.
 func (s Set) Contains(p header.Packet) bool {
@@ -51,7 +97,7 @@ func (s Set) Union(t Set) Set {
 	out := make([]header.Match, 0, len(s.cubes)+len(t.cubes))
 	out = append(out, s.cubes...)
 	out = append(out, t.cubes...)
-	return Set{cubes: out}
+	return Set{cubes: canonicalize(out)}
 }
 
 // Intersect returns s ∩ t (pairwise cube intersection).
@@ -64,7 +110,23 @@ func (s Set) Intersect(t Set) Set {
 			}
 		}
 	}
-	return Set{cubes: out}
+	return Set{cubes: canonicalize(out)}
+}
+
+// Intersects reports whether s and t share any packet, without
+// materializing the intersection: the cube lists are scanned pairwise
+// for overlap. This is the check backend's hot test (a FEC's class
+// region against a path's before/after symmetric difference), where
+// building and canonicalizing the product would dwarf the answer.
+func (s Set) Intersects(t Set) bool {
+	for _, a := range s.cubes {
+		for _, b := range t.cubes {
+			if a.Overlaps(b) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // SubtractMatch returns s ∖ m.
@@ -73,19 +135,28 @@ func (s Set) SubtractMatch(m header.Match) Set {
 	for _, c := range s.cubes {
 		out = append(out, subtractCube(c, m)...)
 	}
-	return Set{cubes: out}
+	return Set{cubes: canonicalize(out)}
 }
 
-// Subtract returns s ∖ t.
+// Subtract returns s ∖ t. The fold splits cubes without canonicalizing
+// between steps: the pieces subtractCube emits are disjoint fragments
+// that per-step merging almost never shrinks, while canonicalizing a
+// large set once per subtracted cube is quadratic work per step — the
+// difference between milliseconds and minutes on thousand-cube path
+// sets. One canonicalization at the end restores the invariant.
 func (s Set) Subtract(t Set) Set {
-	out := s
+	cur := s.cubes
 	for _, m := range t.cubes {
-		out = out.SubtractMatch(m)
-		if out.IsEmpty() {
+		var out []header.Match
+		for _, c := range cur {
+			out = append(out, subtractCube(c, m)...)
+		}
+		cur = out
+		if len(cur) == 0 {
 			break
 		}
 	}
-	return out
+	return Set{cubes: canonicalize(cur)}
 }
 
 // Complement returns the complement of s.
@@ -196,23 +267,359 @@ func protoMinus(r, q header.ProtoMatch) []header.ProtoMatch {
 	return out
 }
 
+// canonicalize rewrites a cube list into the canonical form every Set
+// operation returns: no cube subsumed by another, no pair mergeable into
+// a single cube, and a deterministic total order. Canonical form keeps
+// unions from growing unboundedly under the rule-by-rule PermittedSet
+// fold (the raw cube count is monotone in the number of operations, not
+// in the complexity of the denoted set) and makes SamplePacket a pure
+// function of the denoted set rather than of construction history.
+func canonicalize(cubes []header.Match) []header.Match {
+	if len(cubes) > 1 {
+		for changed := true; changed; {
+			cubes, changed = dropSubsumed(cubes)
+			var merged bool
+			cubes, merged = mergePass(cubes)
+			changed = changed || merged
+		}
+		sort.Slice(cubes, func(i, j int) bool { return cubeLess(cubes[i], cubes[j]) })
+	}
+	return cubes
+}
+
+// canonicalizeDisjoint is canonicalize for cube lists known to be
+// pairwise disjoint (subtraction fragments): disjoint cubes cannot
+// subsume one another, and merging adjacent disjoint cubes preserves
+// disjointness, so the quadratic subsumption scan is skipped entirely.
+func canonicalizeDisjoint(cubes []header.Match) []header.Match {
+	if len(cubes) > 1 {
+		for changed := true; changed; {
+			cubes, changed = mergePass(cubes)
+		}
+		sort.Slice(cubes, func(i, j int) bool { return cubeLess(cubes[i], cubes[j]) })
+	}
+	return cubes
+}
+
+// dropSubsumed removes every cube contained in another (keeping the
+// first of exact duplicates).
+func dropSubsumed(cubes []header.Match) ([]header.Match, bool) {
+	// out stays nil (no allocation) until the first drop; a fresh slice
+	// is required then, because filtering in place would overwrite
+	// entries the containment scan still reads.
+	var out []header.Match
+	for i, c := range cubes {
+		sub := false
+		for j, d := range cubes {
+			if i != j && d.Contains(c) && (!c.Contains(d) || j < i) {
+				sub = true
+				break
+			}
+		}
+		if sub {
+			if out == nil {
+				out = append(make([]header.Match, 0, len(cubes)-1), cubes[:i]...)
+			}
+			continue
+		}
+		if out != nil {
+			out = append(out, c)
+		}
+	}
+	if out == nil {
+		return cubes, false
+	}
+	return out, true
+}
+
+// cubeField indexes the five cube dimensions for the grouped merge.
+const (
+	fieldDst = iota
+	fieldSrc
+	fieldDstPort
+	fieldSrcPort
+	fieldProto
+	numFields
+)
+
+// encodeCube packs each field of a cube into one comparable word, so
+// "agrees on all fields but one" becomes an array-key map lookup.
+func encodeCube(c header.Match) [numFields]uint64 {
+	return [numFields]uint64{
+		fieldDst:     uint64(c.Dst.Addr)<<6 | uint64(c.Dst.Len),
+		fieldSrc:     uint64(c.Src.Addr)<<6 | uint64(c.Src.Len),
+		fieldDstPort: uint64(c.DstPort.Lo)<<16 | uint64(c.DstPort.Hi),
+		fieldSrcPort: uint64(c.SrcPort.Lo)<<16 | uint64(c.SrcPort.Hi),
+		fieldProto:   uint64(c.Proto.Lo)<<8 | uint64(c.Proto.Hi),
+	}
+}
+
+// mergePass merges every mergeable cube pair (cubes agreeing on all
+// fields but one, where that field's constraints combine exactly into
+// one) in one sweep per field: cubes are hash-grouped on the other four
+// fields, and each group's constraints on the varying field collapse in
+// near-linear time — overlapping or adjacent ranges by an interval-union
+// sweep, sibling prefixes bottom-up into parents. A naive pairwise
+// fixpoint costs O(n²) scans per single merge and dominated set
+// construction; the grouped pass is what makes canonicalization cheap
+// enough to run after every set operation.
+func mergePass(cubes []header.Match) ([]header.Match, bool) {
+	merged := false
+	for field := 0; field < numFields; field++ {
+		groups := make(map[[numFields - 1]uint64][]int, len(cubes))
+		grouped := false
+		for i, c := range cubes {
+			enc := encodeCube(c)
+			var key [numFields - 1]uint64
+			k := 0
+			for f := 0; f < numFields; f++ {
+				if f != field {
+					key[k] = enc[f]
+					k++
+				}
+			}
+			g := append(groups[key], i)
+			groups[key] = g
+			grouped = grouped || len(g) > 1
+		}
+		if !grouped {
+			continue
+		}
+		out := make([]header.Match, 0, len(cubes))
+		for _, g := range groups {
+			if len(g) == 1 {
+				out = append(out, cubes[g[0]])
+				continue
+			}
+			template := cubes[g[0]]
+			n := len(out)
+			if field == fieldDst || field == fieldSrc {
+				out = mergeGroupPrefixes(out, template, field, cubes, g)
+			} else {
+				out = mergeGroupRanges(out, template, field, cubes, g)
+			}
+			merged = merged || len(out)-n < len(g)
+		}
+		cubes = out
+	}
+	return cubes, merged
+}
+
+// mergeGroupRanges collapses one group's constraints on a range field
+// into their interval union: sort by Lo, then sweep, joining ranges that
+// overlap or are adjacent (exact — the union of such ranges is a range).
+func mergeGroupRanges(out []header.Match, template header.Match, field int, cubes []header.Match, g []int) []header.Match {
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, 0, len(g))
+	for _, i := range g {
+		switch field {
+		case fieldDstPort:
+			ivs = append(ivs, iv{int(cubes[i].DstPort.Lo), int(cubes[i].DstPort.Hi)})
+		case fieldSrcPort:
+			ivs = append(ivs, iv{int(cubes[i].SrcPort.Lo), int(cubes[i].SrcPort.Hi)})
+		default:
+			ivs = append(ivs, iv{int(cubes[i].Proto.Lo), int(cubes[i].Proto.Hi)})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	emit := func(r iv) {
+		c := template
+		switch field {
+		case fieldDstPort:
+			c.DstPort = header.PortRange{Lo: uint16(r.lo), Hi: uint16(r.hi)}
+		case fieldSrcPort:
+			c.SrcPort = header.PortRange{Lo: uint16(r.lo), Hi: uint16(r.hi)}
+		default:
+			c.Proto = header.ProtoMatch{Lo: uint8(r.lo), Hi: uint8(r.hi)}
+		}
+		out = append(out, c)
+	}
+	cur := ivs[0]
+	for _, r := range ivs[1:] {
+		if r.lo <= cur.hi+1 {
+			cur.hi = max(cur.hi, r.hi)
+			continue
+		}
+		emit(cur)
+		cur = r
+	}
+	emit(cur)
+	return out
+}
+
+// mergeGroupPrefixes collapses one group's constraints on a prefix field
+// bottom-up: whenever both siblings of a parent are present, they become
+// the parent, cascading until no sibling pair remains. (Containment
+// cases are the subsumption pass's job.)
+func mergeGroupPrefixes(out []header.Match, template header.Match, field int, cubes []header.Match, g []int) []header.Match {
+	set := make(map[header.Prefix]bool, len(g))
+	for _, i := range g {
+		if field == fieldDst {
+			set[cubes[i].Dst] = true
+		} else {
+			set[cubes[i].Src] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := range set {
+			if p.Len == 0 || !set[p] {
+				continue
+			}
+			sib := header.Prefix{Addr: p.Addr ^ 1<<(32-p.Len), Len: p.Len}
+			if !set[sib] {
+				continue
+			}
+			delete(set, p)
+			delete(set, sib)
+			set[p.Parent()] = true
+			changed = true
+		}
+	}
+	for p := range set {
+		c := template
+		if field == fieldDst {
+			c.Dst = p
+		} else {
+			c.Src = p
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// cubeLess is a total order over cubes (all fields compared), fixing the
+// canonical cube sequence of a set.
+func cubeLess(a, b header.Match) bool {
+	if a.Dst != b.Dst {
+		if a.Dst.Addr != b.Dst.Addr {
+			return a.Dst.Addr < b.Dst.Addr
+		}
+		return a.Dst.Len < b.Dst.Len
+	}
+	if a.Src != b.Src {
+		if a.Src.Addr != b.Src.Addr {
+			return a.Src.Addr < b.Src.Addr
+		}
+		return a.Src.Len < b.Src.Len
+	}
+	if a.DstPort != b.DstPort {
+		if a.DstPort.Lo != b.DstPort.Lo {
+			return a.DstPort.Lo < b.DstPort.Lo
+		}
+		return a.DstPort.Hi < b.DstPort.Hi
+	}
+	if a.SrcPort != b.SrcPort {
+		if a.SrcPort.Lo != b.SrcPort.Lo {
+			return a.SrcPort.Lo < b.SrcPort.Lo
+		}
+		return a.SrcPort.Hi < b.SrcPort.Hi
+	}
+	if a.Proto.Lo != b.Proto.Lo {
+		return a.Proto.Lo < b.Proto.Lo
+	}
+	return a.Proto.Hi < b.Proto.Hi
+}
+
 // PermittedSet computes the exact set of packets an ACL permits, by
 // folding its rules in priority order: each rule claims the part of its
 // match not already claimed above.
 func PermittedSet(a *acl.ACL) Set {
-	permitted := Empty()
-	claimed := Empty()
-	for _, r := range a.Rules {
-		region := FromMatch(r.Match).Subtract(claimed)
-		if r.Action == acl.Permit {
-			permitted = permitted.Union(region)
+	s, _ := permittedSet(a, 0)
+	return s
+}
+
+// PermittedSetWithin computes permitted(a) ∩ region without building
+// the ACL's global permitted set: the first-match fold starts from the
+// region's cubes instead of the full header space, so its cost scales
+// with the region's size, not the ACL's global cube complexity. The
+// callers that restrict a small difference region through a long chain
+// of ACLs (the pset backend's unchanged-binding fold) use this to stay
+// on small-set arithmetic. ok=false reports a cube-budget overflow.
+func PermittedSetWithin(a *acl.ACL, region Set, maxCubes int) (Set, bool) {
+	return permittedSetFrom(a, disjointCubes(region.cubes), maxCubes)
+}
+
+// disjointCubes rewrites a cube list into pairwise-disjoint cubes
+// denoting the same union: each cube contributes the fragments left
+// after subtracting everything already emitted. Canonical Sets may hold
+// overlapping cubes (canonicalize drops subsumption and merges, but
+// does not split partial overlaps), and the first-match fold requires a
+// disjoint starting remainder.
+func disjointCubes(cubes []header.Match) []header.Match {
+	out := make([]header.Match, 0, len(cubes))
+	for _, c := range cubes {
+		pieces := []header.Match{c}
+		for _, d := range out {
+			if len(pieces) == 0 {
+				break
+			}
+			next := pieces[:0:0]
+			for _, p := range pieces {
+				if p.Overlaps(d) {
+					next = append(next, subtractCube(p, d)...)
+				} else {
+					next = append(next, p)
+				}
+			}
+			pieces = next
 		}
-		claimed = claimed.Union(FromMatch(r.Match))
+		out = append(out, pieces...)
+	}
+	return out
+}
+
+// permittedSet is the shared first-match fold over the full header
+// space. See permittedSetFrom.
+func permittedSet(a *acl.ACL, maxCubes int) (Set, bool) {
+	return permittedSetFrom(a, []header.Match{header.MatchAll}, maxCubes)
+}
+
+// permittedSetFrom is the shared first-match fold. It tracks the
+// unclaimed remainder of the starting cubes (which must be pairwise
+// disjoint) rather than the claimed union: the remainder's cubes stay
+// pairwise disjoint by construction (subtractCube splits a cube into
+// disjoint fragments), so each rule's claimed region is read off by
+// intersecting the rule's match with the remainder pieces, permitted
+// regions of distinct rules are disjoint and accumulate by plain
+// append, and no per-rule canonicalization is needed — subsumption
+// cannot occur among disjoint cubes. One canonicalization at the end
+// restores the Set invariant. The earlier claimed-union fold
+// canonicalized twice per rule, which made set construction
+// quadratically slower than the decision it feeds. maxCubes > 0 bounds
+// the intermediate lists (ok=false on overflow); compaction is
+// attempted once before giving up, since disjoint fragment lists can
+// carry mergeable siblings.
+func permittedSetFrom(a *acl.ACL, start []header.Match, maxCubes int) (Set, bool) {
+	var permitted []header.Match
+	remaining := start
+	for _, r := range a.Rules {
+		var keep []header.Match
+		for _, c := range remaining {
+			if !c.Overlaps(r.Match) {
+				keep = append(keep, c)
+				continue
+			}
+			if r.Action == acl.Permit {
+				if region, ok := c.Intersect(r.Match); ok {
+					permitted = append(permitted, region)
+				}
+			}
+			keep = append(keep, subtractCube(c, r.Match)...)
+		}
+		remaining = keep
+		if maxCubes > 0 && (len(permitted) > maxCubes || len(remaining) > maxCubes) {
+			permitted = canonicalizeDisjoint(permitted)
+			remaining = canonicalizeDisjoint(remaining)
+			if len(permitted) > maxCubes || len(remaining) > maxCubes {
+				return Set{}, false
+			}
+		}
 	}
 	if a.Default == acl.Permit {
-		permitted = permitted.Union(Universe().Subtract(claimed))
+		permitted = append(permitted, remaining...)
 	}
-	return permitted
+	return Set{cubes: canonicalizeDisjoint(permitted)}, true
 }
 
 // EquivalentACLs decides ACL equivalence exactly via the set algebra —
@@ -222,29 +629,20 @@ func EquivalentACLs(a, b *acl.ACL) bool {
 	return PermittedSet(a).Equal(PermittedSet(b))
 }
 
-// permittedSetBounded is PermittedSet with a cube budget: it gives up
+// PermittedSetBounded is PermittedSet with a cube budget: it gives up
 // (ok=false) as soon as any intermediate set exceeds maxCubes, keeping
-// the worst case bounded for callers on a hot path.
-func permittedSetBounded(a *acl.ACL, maxCubes int) (Set, bool) {
-	permitted := Empty()
-	claimed := Empty()
-	for _, r := range a.Rules {
-		region := FromMatch(r.Match).Subtract(claimed)
-		if r.Action == acl.Permit {
-			permitted = permitted.Union(region)
-		}
-		claimed = claimed.Union(FromMatch(r.Match))
-		if len(permitted.cubes) > maxCubes || len(claimed.cubes) > maxCubes {
-			return Set{}, false
-		}
+// the worst case bounded for callers on a hot path — the check
+// pipeline's pre-filter and its complete packet-set backend, which fall
+// back to the solver when the budget is exhausted.
+func PermittedSetBounded(a *acl.ACL, maxCubes int) (Set, bool) {
+	s, ok := permittedSet(a, maxCubes)
+	if !ok {
+		return Set{}, false
 	}
-	if a.Default == acl.Permit {
-		permitted = permitted.Union(Universe().Subtract(claimed))
-		if len(permitted.cubes) > maxCubes {
-			return Set{}, false
-		}
+	if len(s.cubes) > maxCubes {
+		return Set{}, false
 	}
-	return permitted, true
+	return s, true
 }
 
 // EquivalentACLsBounded is EquivalentACLs with a cube budget, for use
@@ -253,13 +651,38 @@ func permittedSetBounded(a *acl.ACL, maxCubes int) (Set, bool) {
 // question was settled and the caller must fall back to the solver;
 // when decided=true, equal is the exact answer.
 func EquivalentACLsBounded(a, b *acl.ACL, maxCubes int) (equal, decided bool) {
-	pa, ok := permittedSetBounded(a, maxCubes)
+	pa, ok := PermittedSetBounded(a, maxCubes)
 	if !ok {
 		return false, false
 	}
-	pb, ok := permittedSetBounded(b, maxCubes)
+	pb, ok := PermittedSetBounded(b, maxCubes)
 	if !ok {
 		return false, false
 	}
 	return pa.Equal(pb), true
+}
+
+// DistinguishingPacket returns a packet in exactly one of s and t (a
+// member of the symmetric difference), the witness the equivalence
+// check's verdict rests on. ok is false when the sets are equal. The
+// returned packet is canonical: a pure function of the two denoted sets
+// (the lowest corner of the first cube of the canonicalized difference,
+// s∖t probed before t∖s), independent of how either set was built.
+func DistinguishingPacket(s, t Set) (header.Packet, bool) {
+	if p, ok := s.Subtract(t).SamplePacket(); ok {
+		return p, true
+	}
+	return t.Subtract(s).SamplePacket()
+}
+
+// EquivalentACLsWitness decides ACL equivalence via the set algebra and,
+// on inequivalence, produces a concrete packet the two ACLs decide
+// differently — the same counterexample shape the SMT path extracts
+// from a satisfying assignment.
+func EquivalentACLsWitness(a, b *acl.ACL) (equal bool, witness header.Packet) {
+	pa, pb := PermittedSet(a), PermittedSet(b)
+	if w, ok := DistinguishingPacket(pa, pb); ok {
+		return false, w
+	}
+	return true, header.Packet{}
 }
