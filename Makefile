@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race fuzz fuzz-backends faults lint bench experiments examples vet fmt clean
+.PHONY: all build test test-full race fuzz fuzz-backends faults lint bench bench-check experiments examples vet fmt clean
 
 all: build vet test
 
@@ -61,6 +61,13 @@ lint:
 # The Figure 4a–4d benchmark harness.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Bench regression gate: rerun the incremental and backend figures
+# (medium size) and fail if a speedup ratio regresses >25% against the
+# committed BENCH_incremental.json / BENCH_backend.json baselines or
+# the identical-output invariant breaks. Part of the weekly CI lane.
+bench-check:
+	JINJING_BENCH_CHECK=1 $(GO) test -count=1 -v -run TestBenchCheck ./internal/experiments
 
 # Regenerate the evaluation tables (small+medium; add -large manually)
 # plus the machine-readable BENCH_experiments.json artifact.

@@ -10,6 +10,8 @@ import (
 	"jinjing/internal/lai"
 	"jinjing/internal/netgen"
 	"jinjing/internal/obs"
+	"jinjing/internal/obs/declog"
+	"jinjing/internal/obs/serve"
 	"jinjing/internal/topo"
 )
 
@@ -234,6 +236,54 @@ func NewMetrics() *Metrics { return obs.NewMetrics() }
 
 // NewProgress returns a progress reporter writing to w (nil disables).
 func NewProgress(w io.Writer) *Progress { return obs.NewProgress(w) }
+
+// MultiTraceSink fans finished spans and metrics snapshots out to every
+// non-nil sink (e.g. a JSONL file plus a live EventHub).
+func MultiTraceSink(sinks ...TraceSink) TraceSink { return obs.MultiSink(sinks...) }
+
+// Forensics and the decision ledger (set Options.Forensics /
+// Options.DecisionLog; see internal/obs/declog).
+type (
+	// FECForensics records how one FEC's verdict was reached during a
+	// check: the resolution route, cache hits, and solver time (see
+	// CheckResult.Forensics, populated when Options.Forensics is set or a
+	// DecisionLog is attached).
+	FECForensics = core.FECForensics
+	// DecisionLogger appends one JSONL record per check/fix/generate call
+	// to a size-rotated audit file (set Options.DecisionLog).
+	DecisionLogger = declog.Logger
+	// DecisionRecord is one ledger entry: the decision, the config
+	// fingerprints it was computed over, per-FEC forensics, witnesses,
+	// and cost.
+	DecisionRecord = declog.Record
+	// DecisionLogOptions tunes ledger rotation.
+	DecisionLogOptions = declog.Options
+)
+
+// OpenDecisionLog opens (appending) a decision ledger at path.
+func OpenDecisionLog(path string, opts DecisionLogOptions) (*DecisionLogger, error) {
+	return declog.Open(path, opts)
+}
+
+// ParseDecisionLog decodes the JSONL records of a ledger file's bytes.
+func ParseDecisionLog(data []byte) ([]DecisionRecord, error) { return declog.Parse(data) }
+
+// Live telemetry over HTTP (see internal/obs/serve).
+type (
+	// StatsServer serves /metrics (Prometheus text format), /healthz,
+	// /events (SSE), and /debug/pprof for a metrics registry and hub.
+	StatsServer = serve.Server
+	// EventHub fans spans, metrics snapshots, and progress lines out to
+	// /events subscribers; it is a TraceSink and an io.Writer.
+	EventHub = serve.Hub
+)
+
+// NewEventHub returns an empty event hub.
+func NewEventHub() *EventHub { return serve.NewHub() }
+
+// NewStatsServer builds a telemetry server over a registry and hub
+// (either may be nil); bind it with Listen, stop it with Close.
+func NewStatsServer(m *Metrics, hub *EventHub) *StatsServer { return serve.New(m, hub) }
 
 // Synthetic networks (the evaluation substrate).
 type (

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"jinjing"
 )
 
 // buildTool compiles one of the cmd/ binaries into a shared temp dir.
@@ -399,6 +401,103 @@ func TestCLIResourceLimits(t *testing.T) {
 	}
 }
 
+// TestCLITelemetryGolden drives the -decision-log/-listen/-slow-fecs
+// flags end to end: all three must be byte-inert on stdout (the ledger
+// goes to its file, the server and the slow-FEC table to stderr), the
+// ledger must replay to the verdicts the run printed, and the server
+// must announce its bound address.
+func TestCLITelemetryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run builds binaries; skipped in -short mode")
+	}
+	netgenBin := buildTool(t, "jinjing-netgen")
+	jinjingBin := buildTool(t, "jinjing")
+	dir := t.TempDir()
+
+	before := filepath.Join(dir, "net.json")
+	after := filepath.Join(dir, "net-after.json")
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-out", before)
+	run(t, netgenBin, "-size", "small", "-seed", "9", "-perturb", "4", "-out", after)
+	prog := filepath.Join(dir, "checkfix.lai")
+	writeProgram(t, prog, "check\nfix\n")
+
+	capture := func(args ...string) (string, string) {
+		cmd := exec.Command(jinjingBin, append([]string{
+			"-topo", before, "-updated", after, "-program", prog, "-all-violations",
+		}, args...)...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("jinjing %v: %v\n%s%s", args, err, stdout.String(), stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+
+	golden, _ := capture()
+	if !strings.Contains(golden, "verified=true") {
+		t.Fatalf("expected a verified fix:\n%s", golden)
+	}
+
+	ledgerPath := filepath.Join(dir, "decisions.jsonl")
+	stdout, stderr := capture(
+		"-decision-log", ledgerPath,
+		"-listen", "127.0.0.1:0",
+		"-slow-fecs", "3",
+	)
+	if stdout != golden {
+		t.Fatalf("telemetry flags changed stdout:\n--- plain ---\n%s\n--- instrumented ---\n%s", golden, stdout)
+	}
+	if !strings.Contains(stderr, "listening on 127.0.0.1:") {
+		t.Fatalf("-listen did not announce its address on stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "slowest of") || !strings.Contains(stderr, "route") {
+		t.Fatalf("-slow-fecs table missing from stderr:\n%s", stderr)
+	}
+
+	data, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		t.Fatalf("decision log not written: %v", err)
+	}
+	recs, err := jinjing.ParseDecisionLog(data)
+	if err != nil {
+		t.Fatalf("decision log does not parse: %v\n%s", err, data)
+	}
+	// One record per primitive: the check, then the fix — the fix's
+	// internal verification checks must not add records of their own.
+	if len(recs) != 2 || recs[0].Primitive != "check" || recs[1].Primitive != "fix" {
+		t.Fatalf("want [check fix] records, got %d: %+v", len(recs), recs)
+	}
+	check, fix := recs[0], recs[1]
+	if check.Consistent == nil || *check.Consistent {
+		t.Fatalf("ledger says consistent; stdout said INCONSISTENT: %+v", check)
+	}
+	if len(check.FECLog) != check.FECs || check.FECs == 0 {
+		t.Fatalf("check record must log every FEC (%d), got %d entries", check.FECs, len(check.FECLog))
+	}
+	violating := 0
+	for _, d := range check.FECLog {
+		if d.Verdict == "violating" {
+			violating++
+		}
+	}
+	if violating == 0 || violating != len(check.Witnesses) {
+		t.Fatalf("%d violating FECs vs %d witnesses", violating, len(check.Witnesses))
+	}
+	// The witnesses are the packets stdout printed.
+	for _, w := range check.Witnesses {
+		if !strings.Contains(stdout, w.Packet) {
+			t.Fatalf("ledger witness %q not in stdout:\n%s", w.Packet, stdout)
+		}
+	}
+	if fix.Verified == nil || !*fix.Verified || len(fix.Actions) == 0 {
+		t.Fatalf("fix record must carry the verified plan: %+v", fix)
+	}
+	if check.WallNS <= 0 || fix.WallNS <= 0 {
+		t.Fatal("wall time not stamped")
+	}
+}
+
 // TestCLIExperimentsSmoke runs the experiments binary on the tiniest
 // subset to keep the tool honest.
 func TestCLIExperimentsSmoke(t *testing.T) {
@@ -424,6 +523,9 @@ func TestCLIExperimentsSmoke(t *testing.T) {
 			Experiment string `json:"experiment"`
 			Lines      int    `json:"lines"`
 		} `json:"table5"`
+		Metrics *struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
 	}
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("bad -json report: %v\n%s", err, data)
@@ -433,6 +535,11 @@ func TestCLIExperimentsSmoke(t *testing.T) {
 	}
 	if report.Table5[0].Size != "small" || report.Table5[0].Lines <= 0 {
 		t.Fatalf("report row malformed: %+v", report.Table5[0])
+	}
+	// -json embeds the run's final metrics snapshot (t5 only parses LAI
+	// programs, so the registry may be sparse — but the key must exist).
+	if report.Metrics == nil {
+		t.Fatalf("-json report missing the metrics snapshot:\n%s", data)
 	}
 }
 

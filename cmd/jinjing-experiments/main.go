@@ -20,6 +20,7 @@ import (
 
 	"jinjing/internal/experiments"
 	"jinjing/internal/netgen"
+	"jinjing/internal/obs"
 )
 
 func main() {
@@ -44,6 +45,14 @@ func main() {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
+	}
+
+	// A shared metrics registry across every figure: -json embeds its
+	// final snapshot, matching what `jinjing -metrics` prints for a run.
+	var metrics *obs.Metrics
+	if *jsonPath != "" {
+		metrics = obs.NewMetrics()
+		experiments.Observer = obs.NewObserver(nil, metrics, nil)
 	}
 
 	sizes := []netgen.Size{netgen.Small, netgen.Medium}
@@ -138,6 +147,10 @@ func main() {
 	}
 
 	if *jsonPath != "" {
+		if metrics != nil {
+			snap := metrics.Snapshot()
+			report.Metrics = &snap
+		}
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

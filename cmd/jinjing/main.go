@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -33,6 +34,8 @@ import (
 	"jinjing/internal/core"
 	"jinjing/internal/lai"
 	"jinjing/internal/obs"
+	"jinjing/internal/obs/declog"
+	"jinjing/internal/obs/serve"
 	"jinjing/internal/topo"
 )
 
@@ -61,6 +64,10 @@ func main() {
 		progress    = flag.Bool("progress", false, "report N/M progress to stderr during long phases")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+
+		decisionLog = flag.String("decision-log", "", "append one JSONL decision record per check/fix/generate to this rotating file")
+		listenAddr  = flag.String("listen", "", "serve /metrics, /healthz, /events, and /debug/pprof on this address for the run's lifetime")
+		slowFECs    = flag.Int("slow-fecs", 0, "print the N slowest FECs per check to stderr, with their backend route and verdict")
 	)
 	flag.Parse()
 	if (*topoPath == "" && *configsDir == "") || *programPath == "" {
@@ -120,11 +127,22 @@ func main() {
 	}
 	engineOpts.Backend = backend
 
-	observer, finish, err := setupObservability(*tracePath, *traceText, *showMetrics, *progress, *cpuProfile, *memProfile)
+	observer, ledger, finish, err := setupObservability(obsConfig{
+		tracePath:   *tracePath,
+		traceText:   *traceText,
+		showMetrics: *showMetrics,
+		progress:    *progress,
+		cpuProfile:  *cpuProfile,
+		memProfile:  *memProfile,
+		decisionLog: *decisionLog,
+		listenAddr:  *listenAddr,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	engineOpts.Obs = observer
+	engineOpts.DecisionLog = ledger
+	engineOpts.Forensics = *slowFECs > 0
 
 	report, err := core.Run(resolved, engineOpts)
 	if err != nil {
@@ -132,6 +150,9 @@ func main() {
 		fatal(err)
 	}
 	report.Print(os.Stdout)
+	if *slowFECs > 0 {
+		printSlowFECs(os.Stderr, report, *slowFECs)
+	}
 	if *explain {
 		eng := core.FromResolved(resolved, engineOpts)
 		for _, c := range report.Checks {
@@ -161,49 +182,121 @@ func main() {
 	}
 }
 
-// setupObservability builds the -trace/-metrics/-progress observer and
-// starts the requested pprof profiles. The returned finish func flushes
-// the trace, prints metrics, and writes the profiles; call it exactly
-// once before exiting (os.Exit bypasses defers).
-func setupObservability(tracePath string, traceText, showMetrics, progress bool, cpuProfile, memProfile string) (*obs.Observer, func(), error) {
-	var sink obs.Sink
+// obsConfig carries every observability flag into setupObservability.
+type obsConfig struct {
+	tracePath   string
+	traceText   bool
+	showMetrics bool
+	progress    bool
+	cpuProfile  string
+	memProfile  string
+	decisionLog string
+	listenAddr  string
+}
+
+// setupObservability builds the observer from the -trace/-metrics/
+// -progress/-listen flags, opens the -decision-log ledger, starts the
+// -listen stats server, and starts the requested pprof profiles. The
+// returned finish func flushes the trace, prints metrics, closes the
+// ledger, stops the server, and writes the profiles; call it exactly
+// once before exiting (os.Exit bypasses defers). Everything here
+// writes to files or stderr only — stdout stays byte-identical to an
+// uninstrumented run.
+func setupObservability(cfg obsConfig) (*obs.Observer, *declog.Logger, func(), error) {
+	var fileSink obs.Sink
 	var traceFile *os.File
 	switch {
-	case tracePath != "":
-		f, err := os.Create(tracePath)
+	case cfg.tracePath != "":
+		f, err := os.Create(cfg.tracePath)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		traceFile = f
-		sink = obs.NewJSONLSink(f)
-	case traceText:
-		sink = obs.NewTextSink(os.Stderr)
+		fileSink = obs.NewJSONLSink(f)
+	case cfg.traceText:
+		fileSink = obs.NewTextSink(os.Stderr)
+	}
+
+	closeEarly := func() {
+		if traceFile != nil {
+			traceFile.Close()
+		}
+	}
+
+	var ledger *declog.Logger
+	if cfg.decisionLog != "" {
+		l, err := declog.Open(cfg.decisionLog, declog.Options{})
+		if err != nil {
+			closeEarly()
+			return nil, nil, nil, err
+		}
+		ledger = l
+	}
+
+	// The -listen hub receives finished spans (alongside any file sink)
+	// and progress lines, and the server reads the metrics registry live.
+	var hub *serve.Hub
+	var server *serve.Server
+	sink := fileSink
+	if cfg.listenAddr != "" {
+		hub = serve.NewHub()
+		sink = obs.MultiSink(fileSink, hub)
 	}
 	var m *obs.Metrics
-	if showMetrics || sink != nil {
+	if cfg.showMetrics || sink != nil {
 		m = obs.NewMetrics()
 	}
 	var p *obs.Progress
-	if progress {
-		p = obs.NewProgress(os.Stderr)
+	var progressW io.Writer
+	switch {
+	case cfg.progress && hub != nil:
+		progressW = io.MultiWriter(os.Stderr, hub)
+	case cfg.progress:
+		progressW = os.Stderr
+	case hub != nil:
+		progressW = hub
+	}
+	if progressW != nil {
+		p = obs.NewProgress(progressW)
 	}
 	observer := obs.NewObserver(obs.NewTracer(sink), m, p)
 
-	var stopCPU func()
-	if cpuProfile != "" {
-		f, err := os.Create(cpuProfile)
+	if cfg.listenAddr != "" {
+		server = serve.New(m, hub)
+		addr, err := server.Listen(cfg.listenAddr)
 		if err != nil {
-			if traceFile != nil {
-				traceFile.Close()
+			if ledger != nil {
+				ledger.Close()
 			}
-			return nil, nil, err
+			closeEarly()
+			return nil, nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "jinjing: listening on %s\n", addr)
+	}
+
+	var stopCPU func()
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			if server != nil {
+				server.Close()
+			}
+			if ledger != nil {
+				ledger.Close()
+			}
+			closeEarly()
+			return nil, nil, nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			if traceFile != nil {
-				traceFile.Close()
+			if server != nil {
+				server.Close()
 			}
-			return nil, nil, err
+			if ledger != nil {
+				ledger.Close()
+			}
+			closeEarly()
+			return nil, nil, nil, err
 		}
 		stopCPU = func() {
 			pprof.StopCPUProfile()
@@ -213,8 +306,16 @@ func setupObservability(tracePath string, traceText, showMetrics, progress bool,
 
 	finish := func() {
 		observer.Flush() // appends the final metrics snapshot to the trace
-		if showMetrics {
+		if cfg.showMetrics {
 			observer.WriteMetrics(os.Stderr)
+		}
+		if server != nil {
+			server.Close() //nolint:errcheck // best-effort shutdown
+		}
+		if ledger != nil {
+			if err := ledger.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "jinjing:", err)
+			}
 		}
 		if traceFile != nil {
 			traceFile.Close()
@@ -222,8 +323,8 @@ func setupObservability(tracePath string, traceText, showMetrics, progress bool,
 		if stopCPU != nil {
 			stopCPU()
 		}
-		if memProfile != "" {
-			f, err := os.Create(memProfile)
+		if cfg.memProfile != "" {
+			f, err := os.Create(cfg.memProfile)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "jinjing:", err)
 				return
@@ -235,7 +336,50 @@ func setupObservability(tracePath string, traceText, showMetrics, progress bool,
 			f.Close()
 		}
 	}
-	return observer, finish, nil
+	return observer, ledger, finish, nil
+}
+
+// printSlowFECs renders the -slow-fecs table: per check, the k FECs
+// with the largest solver time, their resolution route, and verdict.
+// Written to stderr so stdout stays pinned to the uninstrumented
+// output.
+func printSlowFECs(w io.Writer, report *core.Report, k int) {
+	for ci, c := range report.Checks {
+		fs := make([]core.FECForensics, 0, len(c.Forensics))
+		for _, f := range c.Forensics {
+			if f.SolveNS > 0 {
+				fs = append(fs, f)
+			}
+		}
+		sort.Slice(fs, func(i, j int) bool {
+			if fs[i].SolveNS != fs[j].SolveNS {
+				return fs[i].SolveNS > fs[j].SolveNS
+			}
+			return fs[i].FEC < fs[j].FEC
+		})
+		if len(fs) > k {
+			fs = fs[:k]
+		}
+		fmt.Fprintf(w, "check #%d: %d slowest of %d solved FECs\n", ci+1, len(fs), c.SolvedFECs)
+		if len(fs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %6s  %-12s  %-10s  %s\n", "fec", "route", "verdict", "solve")
+		for _, f := range fs {
+			fmt.Fprintf(w, "  %6d  %-12s  %-10s  %s\n", f.FEC, f.Route, f.Verdict, fmtNS(f.SolveNS))
+		}
+	}
+}
+
+// fmtNS renders a nanosecond duration compactly (µs under 10ms, ms
+// above).
+func fmtNS(ns int64) string {
+	switch {
+	case ns < 10_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	}
 }
 
 // loadConfigs assembles a network from a directory of IOS-style device

@@ -45,6 +45,11 @@ type CheckResult struct {
 	// verdict-cache hits/misses, pre-filter discharges, and the
 	// change-impact analysis of the current edit.
 	Stats CacheStats
+	// Forensics lists per-FEC solve forensics (verdict, route, deciding
+	// backend's solve time, unknown reason) for every FEC the scan
+	// examined, ascending. Populated only when Options.Forensics is set
+	// or a decision ledger is attached; nil otherwise.
+	Forensics []FECForensics
 	// SolverStats aggregates the full SAT counters (decisions,
 	// propagations, conflicts, restarts, learned, deleted) across every
 	// solver the check spun up — including all CheckParallel workers.
@@ -95,6 +100,7 @@ func (e *Engine) CheckParallelContext(ctx context.Context, workers int) *CheckRe
 
 func (e *Engine) checkWith(callCtx context.Context, workers int) *CheckResult {
 	o := e.obsv()
+	ls := e.ledgerBegin()
 	cn, endCall := e.beginCall(callCtx)
 	defer endCall()
 	attrs := []obs.Attr{obs.KV("mode", "sequential")}
@@ -111,6 +117,7 @@ func (e *Engine) checkWith(callCtx context.Context, workers int) *CheckResult {
 		pre.end(obs.KV("diff_rules", 0))
 		root.SetAttr("fast_path", true)
 		root.End()
+		e.logCheckDecision(ls, res)
 		return res
 	}
 	pre.end(obs.KV("diff_rules", ctx.diffRules), obs.KV("acl_pairs", ctx.aclPairs))
@@ -168,8 +175,17 @@ func (e *Engine) checkWith(callCtx context.Context, workers int) *CheckResult {
 	o.Counter("check.fecs").Add(int64(res.FECs))
 	o.Counter("check.fecs.solved").Add(int64(res.SolvedFECs))
 	o.Counter("check.violations").Add(int64(len(res.Violations)))
+	if e.Opts.Forensics || e.Opts.DecisionLog != nil {
+		res.Forensics = ctx.forensicsList(last)
+		if slow := slowestForensics(res.Forensics); slow != nil {
+			root.SetAttr("slowest_fec", slow.FEC)
+			root.SetAttr("slowest_fec_route", slow.Route)
+			root.SetAttr("slowest_fec_ns", slow.SolveNS)
+		}
+	}
 	root.SetAttr("consistent", res.Consistent)
 	root.End()
+	e.logCheckDecision(ls, res)
 	return res
 }
 
@@ -192,7 +208,9 @@ func (e *Engine) solveSequential(cn *canceller, ctx *checkCtx, res *CheckResult,
 	cn.register(solver)
 	base := solver.Stats()
 	task := o.StartTask("check: FECs", int64(len(ctx.fecs)))
-	hist := o.Histogram("check.fec_solve_ns")
+	so := solveObsFor(o, sp.sp)
+	ctx.resolveSpan = sp.sp
+	defer func() { ctx.resolveSpan = nil }()
 
 	var hits []int
 	last := len(ctx.fecs) - 1
@@ -222,7 +240,7 @@ scan:
 			}
 		case fecPending:
 			j := ctx.jobs[ctx.jobOf[i]]
-			gotVerdict, satisfiable := e.decideJob(cn, solver, ctx, j, o, hist)
+			gotVerdict, satisfiable := e.decideJob(cn, solver, ctx, j, o, so)
 			if !gotVerdict {
 				continue
 			}

@@ -15,6 +15,7 @@ import (
 	"jinjing/internal/acl"
 	"jinjing/internal/header"
 	"jinjing/internal/obs"
+	"jinjing/internal/obs/declog"
 	"jinjing/internal/smt"
 	"jinjing/internal/topo"
 )
@@ -134,6 +135,22 @@ type Options struct {
 	// injected timeout, transient fault) is retried before the Unknown
 	// becomes final. 0 means no retries. Cancellation is never retried.
 	MaxRetries int
+	// Forensics makes Check attach per-FEC solve forensics — the route
+	// that established each verdict (skip, cache replay, pre-filter,
+	// pset, SAT), the deciding backend's solve time, and unknown
+	// reasons — to CheckResult.Forensics. Off by default: the raw route
+	// and timing words are always recorded (two words per FEC), but the
+	// result slice is materialized only on demand. Implied by
+	// DecisionLog.
+	Forensics bool
+	// DecisionLog, when set, appends one structured JSONL audit record
+	// per top-level check/fix/generate call to the decision ledger:
+	// config fingerprints, per-FEC verdicts with route/cache-hit/
+	// solve-time/unknown-reason forensics, witnesses, budgets hit, and
+	// wall/CPU time. Verification checks run inside fix/generate are
+	// covered by the parent record (derived engines clear the logger).
+	// Never changes verdicts or stdout.
+	DecisionLog *declog.Logger
 	// Verdicts, when set, is the cross-engine FEC verdict cache that
 	// makes re-checks incremental: engines bound to the same Before/
 	// Scope/controls/encoding configuration replay cached per-FEC
@@ -227,9 +244,13 @@ func (e *Engine) UpdateAfter(after *topo.Network) {
 // verification re-checks of fix and generate only re-solve the FECs
 // their edits touched.
 func (e *Engine) derived(after *topo.Network, parent *obs.Span) *Engine {
+	opts := e.Opts
+	// The parent primitive's ledger record covers its verification
+	// checks; a derived engine logging them too would double-count.
+	opts.DecisionLog = nil
 	return &Engine{
 		Before: e.Before, After: after, Scope: e.Scope,
-		Controls: e.Controls, Opts: e.Opts, parentSpan: parent,
+		Controls: e.Controls, Opts: opts, parentSpan: parent,
 		paths: e.paths, classes: e.classes, fecs: e.fecs,
 		depIdx: e.depIdx, sess: e.sess,
 	}

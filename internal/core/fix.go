@@ -72,6 +72,7 @@ func (e *Engine) Fix() (*FixResult, error) {
 // Deadline allowance.
 func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 	o := e.obsv()
+	ls := e.ledgerBegin()
 	cn, endCall := e.beginCall(callCtx)
 	defer endCall()
 	root := e.startSpan("fix")
@@ -185,7 +186,9 @@ func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 		obs.KV("unfixable", len(res.Unfixable)))
 	if len(blocked) > 0 {
 		sortUnknown(blocked)
-		return nil, &ErrUnknownVerdicts{Stage: "fix", FECs: blocked}
+		err := &ErrUnknownVerdicts{Stage: "fix", FECs: blocked}
+		e.logFixDecision(ls, nil, err)
+		return nil, err
 	}
 
 	// Simplify the ACLs the plan touched (§4.2 extension).
@@ -238,6 +241,7 @@ func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 	o.Counter("fix.unfixable").Add(int64(len(res.Unfixable)))
 	root.SetAttr("verified", res.Verified)
 	root.End()
+	e.logFixDecision(ls, res, nil)
 	return res, nil
 }
 

@@ -88,6 +88,7 @@ func (e *Engine) Generate(sources []topo.ACLBinding) (*GenerateResult, error) {
 // naming the blocking AEC indices in ascending order.
 func (e *Engine) GenerateContext(callCtx context.Context, sources []topo.ACLBinding) (*GenerateResult, error) {
 	o := e.obsv()
+	ls := e.ledgerBegin()
 	cn, endCall := e.beginCall(callCtx)
 	defer endCall()
 	root := e.startSpan("generate", obs.KV("sources", len(sources)))
@@ -238,10 +239,13 @@ func (e *Engine) GenerateContext(callCtx context.Context, sources []topo.ACLBind
 	sp.end(obs.KV("dec_splits", res.DECSplitAECs), obs.KV("unsolvable", len(res.Unsolvable)))
 
 	if len(blockedAECs) > 0 {
-		return nil, &ErrUnknownVerdicts{Stage: "generate", AECs: blockedAECs}
+		err := &ErrUnknownVerdicts{Stage: "generate", AECs: blockedAECs}
+		e.logGenerateDecision(ls, nil, err)
+		return nil, err
 	}
 	if len(res.Unsolvable) > 0 {
 		// No valid plan for the intent (§5.3); report without synthesis.
+		e.logGenerateDecision(ls, res, nil)
 		return res, nil
 	}
 
@@ -298,6 +302,7 @@ func (e *Engine) GenerateContext(callCtx context.Context, sources []topo.ACLBind
 	o.Counter("generate.rules").Add(int64(res.RulesGenerated))
 	o.Counter("generate.rules.simplified").Add(int64(res.RulesAfterSimplify))
 	root.SetAttr("verified", res.Verified)
+	e.logGenerateDecision(ls, res, nil)
 	return res, nil
 }
 

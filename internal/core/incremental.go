@@ -321,6 +321,8 @@ func (e *Engine) prepareIncremental(ctx *checkCtx) {
 	ctx.states = make([]fecState, n)
 	ctx.entries = make([]*fecVerdict, n)
 	ctx.unknownReason = make([]string, n)
+	ctx.routes = make([]fecRoute, n)
+	ctx.solveNS = make([]int64, n)
 	ctx.jobOf = make([]int32, n)
 	for i := range ctx.jobOf {
 		ctx.jobOf[i] = -1
@@ -480,22 +482,24 @@ func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
 	fec := ctx.fecs[i]
 	if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff) {
 		ctx.states[i] = fecSkipped
+		ctx.routes[i] = routeSkip
 		return fecSkipped
 	}
 	var key []uint64
 	if ctx.vc != nil {
 		if ctx.affected != nil && !ctx.affected[i] && ctx.lastGen != nil && i < len(ctx.lastGen) && ctx.lastGen[i] != nil {
-			return ctx.adopt(i, ctx.lastGen[i])
+			return ctx.adopt(i, ctx.lastGen[i], routeImpact)
 		}
 		key = ctx.fecKey(fec)
 		if ent := ctx.vc.lookup(i, key); ent != nil {
-			return ctx.adopt(i, ent)
+			return ctx.adopt(i, ent, routeCache)
 		}
 		ctx.stats.FECCacheMisses++
 	}
 	if e.fecPrefiltered(ctx, fec) {
 		ctx.stats.PrefilterDischarged++
 		ctx.discharge(i, key)
+		ctx.routes[i] = routePrefilter
 		return fecDischarged
 	}
 	// Backend selection happens after the pre-filter discharge above, so
@@ -510,19 +514,35 @@ func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
 	// replicated exactly by the algebra — the solver disposes of the
 	// structurally-false queries the pre-filter misses just as cheaply.)
 	if e.backendForFEC(ctx, fec) == BackendPset {
+		fsp := ctx.resolveSpan.Child("fec.solve", obs.KV("fec", i), obs.KV("backend", "pset"))
 		start := time.Now()
-		if violating, ok := e.psetDecideFEC(ctx, fec); ok {
+		violating, ok := e.psetDecideFEC(ctx, fec)
+		ns := time.Since(start).Nanoseconds()
+		ctx.solveNS[i] += ns
+		if ok {
 			// Same per-FEC decision-latency histogram the solver path
 			// feeds: its count stays equal to a cold run's SolvedFECs
-			// whichever backend answers.
-			e.obsv().Histogram("check.fec_solve_ns").Observe(time.Since(start).Nanoseconds())
+			// whichever backend answers. The backend-labelled histogram
+			// splits the same latencies by deciding backend.
+			o := e.obsv()
+			o.Histogram("check.fec_solve_ns").Observe(ns)
+			o.Histogram("fec.solve.ns{backend=pset}").Observe(ns)
 			ctx.stats.PsetDecided++
+			ctx.routes[i] = routePset
 			ctx.finishVerdict(i, key, violating)
+			fsp.SetAttr("verdict", verdictString(ctx.states[i]))
+			fsp.End()
 			return ctx.states[i]
 		}
 		ctx.stats.PsetBailout++
+		ctx.routes[i] = routeSATBail
+		fsp.SetAttr("bailout", true)
+		fsp.End()
 	}
 	ctx.stats.SatSelected++
+	if ctx.routes[i] == routeNone {
+		ctx.routes[i] = routeSAT
+	}
 	viol := e.fecViolationFormula(ctx.sess.enc, fec, ctx.encodeACLs)
 	enc := ctx.sess.enc
 	ctx.jobOf[i] = int32(len(ctx.jobs))
@@ -535,10 +555,12 @@ func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
 	return fecPending
 }
 
-// adopt replays a cached entry as FEC i's state for this generation.
-func (ctx *checkCtx) adopt(i int, ent *fecVerdict) fecState {
+// adopt replays a cached entry as FEC i's state for this generation,
+// recording the replay route (change-impact or verdict-cache).
+func (ctx *checkCtx) adopt(i int, ent *fecVerdict, route fecRoute) fecState {
 	ctx.stats.FECCacheHits++
 	ctx.entries[i] = ent
+	ctx.routes[i] = route
 	st := fecDischarged
 	if ent.hadJob {
 		if ent.violating {

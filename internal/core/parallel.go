@@ -67,6 +67,15 @@ type checkCtx struct {
 	unknownReason []string
 	jobOf         []int32 // fecIdx -> index into jobs, -1 when none
 	jobs          []checkJob
+	// Solve forensics (see forensics.go): routes[i] records how FEC i's
+	// verdict was established, solveNS[i] its complete-backend decision
+	// time. Workers write distinct indices concurrently.
+	routes  []fecRoute
+	solveNS []int64
+	// resolveSpan parents the per-FEC spans resolveFEC emits for
+	// pset-backend decisions. Set only around the single-goroutine
+	// resolution loops of the check solve/encode phases.
+	resolveSpan *obs.Span
 	// protoJobs counts the jobs already clausified into the prototype
 	// this generation (unchanged cones hash-cons to already-clausified
 	// nodes, so re-clausification across generations is cheap).
@@ -177,6 +186,7 @@ func (e *Engine) solveParallel(cn *canceller, ctx *checkCtx, res *CheckResult, r
 	// cancellation mid-encode marks everything not yet resolved Unknown
 	// (formula construction isn't worth finishing for a dead call).
 	ep := startPhase(root, res.Timings, "encode")
+	ctx.resolveSpan = ep.sp
 	stop := len(ctx.fecs)
 	replayed := -1
 	for i := 0; i < len(ctx.fecs); i++ {
@@ -201,6 +211,7 @@ func (e *Engine) solveParallel(cn *canceller, ctx *checkCtx, res *CheckResult, r
 			pend = append(pend, ctx.jobs[ctx.jobOf[i]])
 		}
 	}
+	ctx.resolveSpan = nil
 	ep.end(obs.KV("jobs", len(pend)))
 
 	sp := startPhase(root, res.Timings, "solve")
@@ -220,7 +231,7 @@ func (e *Engine) solveParallel(cn *canceller, ctx *checkCtx, res *CheckResult, r
 		workers = len(pend)
 	}
 	task := o.StartTask("check: FECs", int64(len(pend)))
-	hist := o.Histogram("check.fec_solve_ns")
+	so := solveObsFor(o, sp.sp)
 	jobsHist := o.Histogram("check.worker_jobs")
 	var (
 		next   atomic.Int64
@@ -297,7 +308,7 @@ func (e *Engine) solveParallel(cn *canceller, ctx *checkCtx, res *CheckResult, r
 				if faultinject.Fire(faultinject.ParallelJob) == faultinject.Panic {
 					panic("faultinject: injected panic at " + string(faultinject.ParallelJob))
 				}
-				decided, satisfiable := e.decideJob(cn, solver, ctx, pend[k], o, hist)
+				decided, satisfiable := e.decideJob(cn, solver, ctx, pend[k], o, so)
 				nsolved++
 				task.Add(1)
 				if decided && satisfiable && !findAll {
@@ -405,7 +416,7 @@ func (e *Engine) solveParallel(cn *canceller, ctx *checkCtx, res *CheckResult, r
 			seqBase = sess.seq.Stats()
 			seqUsed = true
 		}
-		decided, satisfiable := e.decideJob(cn, sess.seq, ctx, pend[k], o, hist)
+		decided, satisfiable := e.decideJob(cn, sess.seq, ctx, pend[k], o, so)
 		task.Add(1)
 		if decided && satisfiable && !findAll {
 			if cur := minHit.Load(); int64(k) < cur {

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jinjing/internal/netgen"
+)
+
+// TestBenchCheck is the `make bench-check` regression gate: it reruns
+// the incremental and backend figures at the medium size and compares
+// their machine-independent ratios against the committed BENCH_*.json
+// baselines. A fresh run regressing more than 25% on a speedup ratio —
+// or losing the identical-output invariant — fails.
+//
+// The gate is opt-in (JINJING_BENCH_CHECK=1): the figures take tens of
+// seconds and ratios on loaded laptops are noisy, so it runs in the
+// weekly CI lane, not on every push.
+func TestBenchCheck(t *testing.T) {
+	if os.Getenv("JINJING_BENCH_CHECK") != "1" {
+		t.Skip("set JINJING_BENCH_CHECK=1 to run the bench regression gate")
+	}
+	const tolerance = 0.75 // fresh ratio must stay >= 75% of baseline
+
+	root := repoRoot(t)
+	sizes := []netgen.Size{netgen.Medium}
+
+	t.Run("incremental", func(t *testing.T) {
+		var baseline struct {
+			Incremental []IncrementalRow `json:"incremental"`
+		}
+		readJSON(t, filepath.Join(root, "BENCH_incremental.json"), &baseline)
+		if len(baseline.Incremental) == 0 {
+			t.Fatal("baseline has no incremental rows")
+		}
+		fresh := FigIncrementalCheck(sizes)
+		for _, base := range baseline.Incremental {
+			if base.Size != netgen.Medium {
+				continue
+			}
+			got := findIncremental(fresh, base.Size, base.EditSite)
+			if got == nil {
+				t.Errorf("fresh run missing row %s/%s", base.Size, base.EditSite)
+				continue
+			}
+			if !got.Identical {
+				t.Errorf("%s/%s: warm and cold outputs diverged", base.Size, base.EditSite)
+			}
+			if got.Speedup < base.Speedup*tolerance {
+				t.Errorf("%s/%s: warm speedup regressed >25%%: baseline %.2fx, fresh %.2fx",
+					base.Size, base.EditSite, base.Speedup, got.Speedup)
+			}
+			t.Logf("%s/%s: speedup baseline %.2fx, fresh %.2fx (hit rate %.2f)",
+				base.Size, base.EditSite, base.Speedup, got.Speedup, got.HitRate)
+		}
+	})
+
+	t.Run("backend", func(t *testing.T) {
+		var baseline struct {
+			Backend []BackendRow `json:"backend"`
+		}
+		readJSON(t, filepath.Join(root, "BENCH_backend.json"), &baseline)
+		if len(baseline.Backend) == 0 {
+			t.Fatal("baseline has no backend rows")
+		}
+		fresh := FigBackendCheck(sizes)
+		for _, base := range baseline.Backend {
+			if base.Size != netgen.Medium {
+				continue
+			}
+			got := findBackend(fresh, base.Size, base.Backend)
+			if got == nil {
+				t.Errorf("fresh run missing row %s/%s", base.Size, base.Backend)
+				continue
+			}
+			if !got.Identical {
+				t.Errorf("%s/%s: backend output diverged from the sat arm", base.Size, base.Backend)
+			}
+			if got.ColdSpeedupVsSat < base.ColdSpeedupVsSat*tolerance {
+				t.Errorf("%s/%s: cold speedup vs sat regressed >25%%: baseline %.2fx, fresh %.2fx",
+					base.Size, base.Backend, base.ColdSpeedupVsSat, got.ColdSpeedupVsSat)
+			}
+			t.Logf("%s/%s: cold speedup baseline %.2fx, fresh %.2fx",
+				base.Size, base.Backend, base.ColdSpeedupVsSat, got.ColdSpeedupVsSat)
+		}
+	})
+}
+
+func findIncremental(rows []IncrementalRow, size netgen.Size, site string) *IncrementalRow {
+	for i := range rows {
+		if rows[i].Size == size && rows[i].EditSite == site {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func findBackend(rows []BackendRow, size netgen.Size, backend string) *BackendRow {
+	for i := range rows {
+		if rows[i].Size == size && rows[i].Backend == backend {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func readJSON(t *testing.T, path string, v interface{}) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline missing: %v", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}
+
+// repoRoot walks up from the package dir to the directory holding
+// go.mod (the committed BENCH_*.json baselines live there).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above " + mustGetwd())
+		}
+		dir = parent
+	}
+}
+
+func mustGetwd() string {
+	d, _ := os.Getwd()
+	return fmt.Sprint(d)
+}

@@ -37,6 +37,21 @@ import (
 // Seed fixes all workloads; change it to resample.
 const Seed = 42
 
+// Observer, when set, instruments every experiment engine that does not
+// need a private metrics registry of its own (cmd/jinjing-experiments
+// sets it so -json can embed the run's aggregate metrics snapshot).
+// Experiments that read specific counters mid-run (FigParallelCheck,
+// FigBackendCheck) keep their per-cell registries and ignore it.
+var Observer *obs.Observer
+
+// defaultOptions is core.DefaultOptions with the package Observer
+// attached.
+func defaultOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Obs = Observer
+	return o
+}
+
 // wanCache shares built networks across experiments and benchmark
 // iterations (building the large WAN takes a noticeable fraction of a
 // second and would otherwise distort timing).
@@ -89,7 +104,7 @@ type CheckRow struct {
 func CheckEngine(size netgen.Size, pct float64, differential bool) *core.Engine {
 	w := GetWAN(size)
 	after := w.Perturb(Seed+int64(pct*10), pct)
-	opts := core.DefaultOptions()
+	opts := defaultOptions()
 	opts.UseDifferential = differential
 	e := core.New(w.Net, after, w.Scope, opts)
 	e.FECs()
@@ -149,7 +164,7 @@ type FixRow struct {
 func FixEngine(size netgen.Size, pct float64, optimized bool) *core.Engine {
 	w := GetWAN(size)
 	after := w.Perturb(Seed+int64(pct*10), pct)
-	opts := core.DefaultOptions()
+	opts := defaultOptions()
 	if !optimized {
 		opts.UseDifferential = false
 		opts.SimplifyOutput = false
@@ -167,7 +182,7 @@ func FixEngine(size netgen.Size, pct float64, optimized bool) *core.Engine {
 func Fig4bNoExpansion(size netgen.Size, cap int) FixRow {
 	w := GetWAN(size)
 	after := w.Perturb(Seed+10, 1)
-	opts := core.DefaultOptions()
+	opts := defaultOptions()
 	opts.DisableExpansion = true
 	opts.MaxNeighborhoods = cap
 	e := core.New(w.Net, after, w.Scope, opts)
@@ -250,7 +265,7 @@ func MigrationSetup(size netgen.Size, optimized bool) (*core.Engine, []topo.ACLB
 	}
 	sources, _ := netgen.Bindings(w.Net, w.AggACLs)
 	targets, _ := netgen.Bindings(w.Net, w.EdgeACLs)
-	opts := core.DefaultOptions()
+	opts := defaultOptions()
 	if !optimized {
 		opts.UseGrouping = false
 		opts.SimplifyOutput = false
@@ -316,7 +331,7 @@ func OpenSetup(size netgen.Size, perDevice int) (*core.Engine, []topo.ACLBinding
 	}
 	srcIDs := append(append([]string{}, w.CoreACLs...), w.AggACLs...)
 	srcs, _ := netgen.Bindings(w.Net, srcIDs)
-	e := core.New(w.Net, w.Net.Clone(), w.Scope, core.DefaultOptions())
+	e := core.New(w.Net, w.Net.Clone(), w.Scope, defaultOptions())
 	e.Allow = srcs
 	e.Controls = ctrls
 	return e, srcs
@@ -572,7 +587,7 @@ func FigIncrementalCheck(sizes []netgen.Size) []IncrementalRow {
 		}
 
 		mkOpts := func() core.Options {
-			o := core.DefaultOptions()
+			o := defaultOptions()
 			o.UseDifferential = false
 			o.UseTournament = true
 			o.FindAllViolations = true
@@ -909,6 +924,10 @@ type BenchReport struct {
 	// (BENCH_backend.json when run with -figures backend).
 	Backend []BackendRow `json:"backend,omitempty"`
 	Table5  []Table5Row  `json:"table5,omitempty"`
+	// Metrics is the final metrics snapshot of the run's shared Observer
+	// (set by cmd/jinjing-experiments so -json output carries the same
+	// registry dump `jinjing -metrics` prints).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package declog
+
+// ProcessCPU returns 0 on platforms without getrusage; ledger records
+// then omit cpu_ns.
+func ProcessCPU() int64 { return 0 }

@@ -1,0 +1,16 @@
+//go:build linux || darwin
+
+package declog
+
+import "syscall"
+
+// ProcessCPU returns the process's cumulative user+system CPU time in
+// nanoseconds. Records log the delta across a call, so with parallel
+// workers CPU time can legitimately exceed wall time.
+func ProcessCPU() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

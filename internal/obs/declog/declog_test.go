@@ -1,0 +1,159 @@
+package declog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendParseRoundTrip writes records through the logger and reads
+// them back, checking the stamped fields and the typed payload.
+func TestAppendParseRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.jsonl")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := true
+	rec := &Record{
+		Primitive:    "check",
+		ConfigBefore: "00000000deadbeef",
+		ConfigAfter:  "00000000cafef00d",
+		Consistent:   &ok,
+		Complete:     &ok,
+		FECs:         5,
+		SolvedFECs:   3,
+		FECLog: []FECDecision{
+			{FEC: 0, Verdict: "consistent", Route: "skip"},
+			{FEC: 1, Verdict: "consistent", Route: "pset", SolveNS: 123},
+			{FEC: 2, Verdict: "unknown", Route: "sat", Reason: "deadline"},
+		},
+		Unknown: []FECDecision{{FEC: 2, Verdict: "unknown", Route: "sat", Reason: "deadline"}},
+		WallNS:  42,
+	}
+	if err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Primitive: "fix", Error: "refused"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("want 2 records, got %d", len(recs))
+	}
+	got := recs[0]
+	if got.Type != "decision" || got.Seq != 1 || got.Time.IsZero() {
+		t.Fatalf("stamped fields wrong: %+v", got)
+	}
+	if got.Primitive != "check" || got.ConfigBefore != "00000000deadbeef" ||
+		got.Consistent == nil || !*got.Consistent || got.FECs != 5 {
+		t.Fatalf("payload lost: %+v", got)
+	}
+	if len(got.FECLog) != 3 || got.FECLog[1].SolveNS != 123 || got.FECLog[2].Reason != "deadline" {
+		t.Fatalf("fec log lost: %+v", got.FECLog)
+	}
+	if recs[1].Seq != 2 || recs[1].Error != "refused" {
+		t.Fatalf("second record wrong: %+v", recs[1])
+	}
+}
+
+// TestAppendAfterReopen continues the file rather than truncating it,
+// and a closed logger refuses appends.
+func TestAppendAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.jsonl")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Primitive: "check"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append(&Record{Primitive: "check"}); err == nil {
+		t.Fatal("append after close must fail")
+	}
+
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(&Record{Primitive: "generate"}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Primitive != "check" || recs[1].Primitive != "generate" {
+		t.Fatalf("reopen must append: %+v", recs)
+	}
+}
+
+// TestRotation drives the size threshold: the live file rotates into
+// path.1, path.2, ... capped at MaxBackups, and every surviving file
+// still parses.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "decisions.jsonl")
+	l, err := Open(path, Options{MaxBytes: 200, MaxBackups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each record is ~90 bytes; 10 appends force several rotations.
+	for i := 0; i < 10; i++ {
+		if err := l.Append(&Record{Primitive: "check", ConfigBefore: "0123456789abcdef"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		recs, err := ReadFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("%s: empty after rotation", p)
+		}
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Fatalf("backup beyond MaxBackups must not exist: %v", err)
+	}
+
+	// Sequence numbers stay monotonic across rotations within one logger.
+	recs, _ := ReadFile(path)
+	prev := int64(0)
+	for _, r := range recs {
+		if r.Seq <= prev {
+			t.Fatalf("seq not monotonic: %d after %d", r.Seq, prev)
+		}
+		prev = r.Seq
+	}
+}
+
+// TestNilSafety checks the no-op contracts.
+func TestNilSafety(t *testing.T) {
+	var l *Logger
+	if err := l.Append(&Record{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(filepath.Join(t.TempDir(), "x.jsonl"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+}

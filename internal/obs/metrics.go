@@ -161,6 +161,13 @@ func (h *Histogram) stat() HistogramStat {
 		st.P50 = h.quantileLocked(0.50)
 		st.P90 = h.quantileLocked(0.90)
 		st.P99 = h.quantileLocked(0.99)
+		hi := 0
+		for i, n := range h.buckets {
+			if n > 0 {
+				hi = i
+			}
+		}
+		st.Buckets = append([]int64(nil), h.buckets[:hi+1]...)
 	}
 	return st
 }
@@ -204,6 +211,20 @@ type HistogramStat struct {
 	P50   int64   `json:"p50"`
 	P90   int64   `json:"p90"`
 	P99   int64   `json:"p99"`
+	// Buckets is the occupied prefix of the power-of-two bucket array:
+	// Buckets[i] counts observations v with bit length i, i.e. in
+	// (2^(i-1)-1, 2^i-1]; Buckets[0] counts v <= 0. Trailing empty
+	// buckets are trimmed; nil when Count == 0.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// BucketUpperBound returns the inclusive upper bound of power-of-two
+// bucket i: 0 for bucket 0, otherwise 2^i - 1.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
 }
 
 // Snapshot is a point-in-time copy of a Metrics registry, suitable for
@@ -244,26 +265,30 @@ func (m *Metrics) Snapshot() Snapshot {
 }
 
 // WriteText renders the snapshot with sorted keys, one metric per line.
+// The name column is padded to the longest registered metric name.
 func (s Snapshot) WriteText(w io.Writer) {
+	width := 0
+	for _, keys := range [][]string{sortedKeys(s.Counters), sortedKeys(s.Gauges), sortedKeys(s.Histograms)} {
+		for _, k := range keys {
+			if len(k) > width {
+				width = len(k)
+			}
+		}
+	}
 	for _, k := range sortedKeys(s.Counters) {
-		fmt.Fprintf(w, "%-28s %d\n", k, s.Counters[k])
+		fmt.Fprintf(w, "%-*s %d\n", width, k, s.Counters[k])
 	}
 	for _, k := range sortedKeys(s.Gauges) {
-		fmt.Fprintf(w, "%-28s %d\n", k, s.Gauges[k])
+		fmt.Fprintf(w, "%-*s %d\n", width, k, s.Gauges[k])
 	}
-	hk := make([]string, 0, len(s.Histograms))
-	for k := range s.Histograms {
-		hk = append(hk, k)
-	}
-	sort.Strings(hk)
-	for _, k := range hk {
+	for _, k := range sortedKeys(s.Histograms) {
 		h := s.Histograms[k]
-		fmt.Fprintf(w, "%-28s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p90=%d p99=%d\n",
-			k, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P90, h.P99)
+		fmt.Fprintf(w, "%-*s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p90=%d p99=%d\n",
+			width, k, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P90, h.P99)
 	}
 }
 
-func sortedKeys(m map[string]int64) []string {
+func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

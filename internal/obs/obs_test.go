@@ -148,7 +148,8 @@ func TestNoopZeroAlloc(t *testing.T) {
 }
 
 // TestProgressReporting checks the N/M lines and the final unthrottled
-// report.
+// report. The Add that completes the total reports exactly once: Done
+// after it is a no-op rather than a duplicate line.
 func TestProgressReporting(t *testing.T) {
 	var buf bytes.Buffer
 	p := NewProgress(&buf)
@@ -158,22 +159,41 @@ func TestProgressReporting(t *testing.T) {
 		task.Add(1)
 	}
 	task.Done()
-	want := "check: FECs: 1/3\ncheck: FECs: 2/3\ncheck: FECs: 3/3\ncheck: FECs: 3/3\n"
+	want := "check: FECs: 1/3\ncheck: FECs: 2/3\ncheck: FECs: 3/3\n"
 	if buf.String() != want {
 		t.Fatalf("progress output:\n%q\nwant:\n%q", buf.String(), want)
 	}
 
-	// Throttled: with a huge interval only the first Add (last=0 is
-	// always past the throttle) and Done report.
+	// Throttled: with a huge interval the first Add (last=0 is always
+	// past the throttle) reports, intermediate Adds are swallowed, and
+	// the Add completing the total bypasses the throttle — the 100% line
+	// appears even though the caller never reaches Done.
 	buf.Reset()
 	p.SetMinInterval(1 << 40)
 	task = p.StartTask("quiet", 1000)
 	for i := 0; i < 1000; i++ {
 		task.Add(1)
 	}
+	if got := buf.String(); got != "quiet: 1/1000\nquiet: 1000/1000\n" {
+		t.Fatalf("throttled output before Done: %q", got)
+	}
+	// Done is idempotent and adds nothing once the total was reported.
+	task.Done()
 	task.Done()
 	if got := buf.String(); got != "quiet: 1/1000\nquiet: 1000/1000\n" {
-		t.Fatalf("throttled output: %q", got)
+		t.Fatalf("throttled output after Done: %q", got)
+	}
+
+	// A task stopping short of its total still gets its final count from
+	// Done — exactly once.
+	buf.Reset()
+	task = p.StartTask("partial", 10)
+	task.Add(1)
+	task.Add(1) // swallowed by the throttle
+	task.Done()
+	task.Done()
+	if got := buf.String(); got != "partial: 1/10\npartial: 2/10\n" {
+		t.Fatalf("partial output: %q", got)
 	}
 }
 

@@ -42,30 +42,41 @@ func (p *Progress) StartTask(label string, total int64) *Task {
 	if p == nil {
 		return nil
 	}
-	return &Task{p: p, label: label, total: total}
+	t := &Task{p: p, label: label, total: total}
+	t.lastDone.Store(-1)
+	return t
 }
 
 // Task tracks one loop's completion. Add is safe to call from multiple
 // goroutines. Nil tasks no-op.
 type Task struct {
-	p     *Progress
-	label string
-	total int64
-	done  atomic.Int64
-	last  atomic.Int64 // UnixNano of the last emitted report
+	p        *Progress
+	label    string
+	total    int64
+	done     atomic.Int64
+	last     atomic.Int64 // UnixNano of the last emitted report
+	lastDone atomic.Int64 // done value of the last emitted report (-1: none)
+	finished atomic.Bool  // Done already ran
 }
 
 // Add advances the task by n and emits a report when the throttle
-// interval has passed.
+// interval has passed. The report that completes the total bypasses the
+// throttle: the 100%-of-total line is always emitted, even if the
+// caller never reaches Done.
 func (t *Task) Add(n int64) {
 	if t == nil {
 		return
 	}
 	done := t.done.Add(n)
+	now := time.Now().UnixNano()
+	if t.total > 0 && done == t.total {
+		t.last.Store(now)
+		t.report(done)
+		return
+	}
 	t.p.mu.Lock()
 	interval := t.p.minInterval
 	t.p.mu.Unlock()
-	now := time.Now().UnixNano()
 	last := t.last.Load()
 	if now-last < int64(interval) {
 		return
@@ -75,17 +86,27 @@ func (t *Task) Add(n int64) {
 	}
 }
 
-// Done emits the final report unconditionally.
+// Done emits the final report unless that exact count was already
+// reported (e.g. by the final Add). Done is idempotent: repeated calls
+// emit nothing.
 func (t *Task) Done() {
 	if t == nil {
 		return
 	}
-	t.report(t.done.Load())
+	if !t.finished.CompareAndSwap(false, true) {
+		return
+	}
+	done := t.done.Load()
+	if t.lastDone.Load() == done {
+		return
+	}
+	t.report(done)
 }
 
 func (t *Task) report(done int64) {
 	t.p.mu.Lock()
 	defer t.p.mu.Unlock()
+	t.lastDone.Store(done)
 	if t.total > 0 {
 		fmt.Fprintf(t.p.w, "%s: %d/%d\n", t.label, done, t.total)
 	} else {

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBoundaryQuantiles pins the quantile behavior at exact
+// power-of-two bucket boundaries: an upper-bound value (2^i - 1) must
+// report itself, and the first value of the next octave (2^i) must not
+// be inflated past the exact max.
+func TestHistogramBoundaryQuantiles(t *testing.T) {
+	for _, v := range []int64{1, 2, 3, 4, 255, 256, 1 << 20, 1<<20 - 1} {
+		h := &Histogram{}
+		for i := 0; i < 10; i++ {
+			h.Observe(v)
+		}
+		st := h.stat()
+		// All mass sits in one bucket, so every quantile is that bucket's
+		// upper bound clamped to the exact max — i.e. exactly v.
+		if st.P50 != v || st.P90 != v || st.P99 != v {
+			t.Fatalf("v=%d: quantiles not clamped to max: %+v", v, st)
+		}
+		if st.Min != v || st.Max != v || st.Count != 10 || st.Sum != 10*v {
+			t.Fatalf("v=%d: exact fields wrong: %+v", v, st)
+		}
+	}
+
+	// Mass split across a boundary: 5 observations of 255 (bucket 8),
+	// 5 of 256 (bucket 9). P50's rank (4) lands in bucket 8 → 255; P99
+	// lands in bucket 9, whose bound 511 clamps to max 256.
+	h := &Histogram{}
+	for i := 0; i < 5; i++ {
+		h.Observe(255)
+		h.Observe(256)
+	}
+	st := h.stat()
+	if st.P50 != 255 {
+		t.Fatalf("p50 across the 255/256 boundary: want 255, got %d", st.P50)
+	}
+	if st.P99 != 256 {
+		t.Fatalf("p99 across the 255/256 boundary: want 256 (max-clamped), got %d", st.P99)
+	}
+}
+
+// TestHistogramAllNegative drives only non-positive values through the
+// bucket-0 clamp: quantiles must report min64(0, max), never a positive
+// bucket bound.
+func TestHistogramAllNegative(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{-5, -3, -1, 0, -7} {
+		h.Observe(v)
+	}
+	st := h.stat()
+	if st.Count != 5 || st.Sum != -16 || st.Min != -7 || st.Max != 0 {
+		t.Fatalf("exact fields wrong: %+v", st)
+	}
+	if st.P50 != 0 || st.P99 != 0 {
+		t.Fatalf("bucket-0 quantiles must clamp to max=0: %+v", st)
+	}
+	if len(st.Buckets) != 1 || st.Buckets[0] != 5 {
+		t.Fatalf("all mass must sit in bucket 0: %+v", st.Buckets)
+	}
+
+	// Strictly negative: the clamp must surface the (negative) max.
+	h = &Histogram{}
+	h.Observe(-10)
+	h.Observe(-2)
+	st = h.stat()
+	if st.P50 != -2 || st.P99 != -2 {
+		t.Fatalf("strictly negative quantiles must clamp to max=-2: %+v", st)
+	}
+}
+
+// TestBucketUpperBound pins the exported bound function against the
+// Observe bucketing rule: a value lands in the lowest bucket whose
+// bound contains it.
+func TestBucketUpperBound(t *testing.T) {
+	if BucketUpperBound(0) != 0 || BucketUpperBound(-1) != 0 {
+		t.Fatal("bucket 0 bound must be 0")
+	}
+	for i := 1; i <= 62; i++ {
+		lo, hi := BucketUpperBound(i-1)+1, BucketUpperBound(i)
+		for _, v := range []int64{lo, hi} {
+			h := &Histogram{}
+			h.Observe(v)
+			st := h.stat()
+			if len(st.Buckets) != i+1 || st.Buckets[i] != 1 {
+				t.Fatalf("value %d must land in bucket %d: %+v", v, i, st.Buckets)
+			}
+		}
+	}
+}
+
+// TestWritePrometheusRoundTrip renders a snapshot in the exposition
+// format, re-parses it, and checks every sample — including the exact
+// cumulative bucket series reconstructed from HistogramStat.Buckets.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("fec.cache.hits").Add(7)
+	m.Gauge("smt.nodes").Set(1234)
+	h := m.Histogram("fec.solve.ns{backend=sat}")
+	for _, v := range []int64{-1, 1, 3, 100, 100, 5000} {
+		h.Observe(v)
+	}
+	m.Histogram("fec.solve.ns{backend=pset}").Observe(42)
+
+	var buf strings.Builder
+	snap := m.Snapshot()
+	snap.WritePrometheus(&buf)
+	text := buf.String()
+
+	samples, err := ParsePrometheusText(text)
+	if err != nil {
+		t.Fatalf("exposition output does not parse: %v\n%s", err, text)
+	}
+	if samples["fec_cache_hits"] != 7 {
+		t.Fatalf("counter sample wrong: %v", samples)
+	}
+	if samples["smt_nodes"] != 1234 {
+		t.Fatalf("gauge sample wrong: %v", samples)
+	}
+
+	// Reconstruct the sat histogram's cumulative series from the raw
+	// buckets and compare sample by sample.
+	st := snap.Histograms["fec.solve.ns{backend=sat}"]
+	var cum int64
+	for i, n := range st.Buckets {
+		cum += n
+		key := fmt.Sprintf(`fec_solve_ns_bucket{backend="sat",le="%d"}`, BucketUpperBound(i))
+		if got, ok := samples[key]; !ok || got != float64(cum) {
+			t.Fatalf("bucket sample %s: want %d, got %v (present=%v)\n%s", key, cum, got, ok, text)
+		}
+	}
+	if samples[`fec_solve_ns_bucket{backend="sat",le="+Inf"}`] != float64(st.Count) {
+		t.Fatalf("+Inf bucket must equal count: %v", samples)
+	}
+	if samples[`fec_solve_ns_sum{backend="sat"}`] != float64(st.Sum) ||
+		samples[`fec_solve_ns_count{backend="sat"}`] != float64(st.Count) {
+		t.Fatalf("sum/count samples wrong: %v", samples)
+	}
+	// The pset series shares the family.
+	if samples[`fec_solve_ns_count{backend="pset"}`] != 1 {
+		t.Fatalf("pset series missing: %v", samples)
+	}
+	// One TYPE header per family, even with two labeled series.
+	if n := strings.Count(text, "# TYPE fec_solve_ns histogram"); n != 1 {
+		t.Fatalf("want exactly one fec_solve_ns TYPE header, got %d:\n%s", n, text)
+	}
+}
+
+// TestParsePrometheusTextRejects checks the validator half of the
+// parser: bad names, missing values, duplicate samples.
+func TestParsePrometheusTextRejects(t *testing.T) {
+	for _, bad := range []string{
+		"no-dashes-allowed 1",
+		"orphan",
+		"dup 1\ndup 2",
+		"unbalanced{le=\"3\" 4",
+	} {
+		if _, err := ParsePrometheusText(bad); err == nil {
+			t.Fatalf("want parse error for %q", bad)
+		}
+	}
+	got, err := ParsePrometheusText("# comment\n\nok_name 3\nok_name{l=\"x\"} 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["ok_name"] != 3 || got[`ok_name{l="x"}`] != 4 {
+		t.Fatalf("good input mis-parsed: %v", got)
+	}
+}
+
+// TestSanitizePromName pins the registry-key mapping.
+func TestSanitizePromName(t *testing.T) {
+	cases := map[string]string{
+		"fec.cache.hits": "fec_cache_hits",
+		"0weird":         "_0weird",
+		"a:b_c9":         "a:b_c9",
+		"sp ace":         "sp_ace",
+	}
+	for in, want := range cases {
+		if got := sanitizePromName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+	p := parsePromName(`fec.solve.ns{backend=sat}`)
+	if p.name != "fec_solve_ns" || p.labels != `backend="sat"` {
+		t.Fatalf("parsePromName wrong: %+v", p)
+	}
+}

@@ -43,6 +43,39 @@ type Sink interface {
 	Metrics(Snapshot)
 }
 
+// MultiSink fans every span and snapshot out to each sink in order.
+// Nil sinks in the list are skipped; an empty list yields nil (so
+// NewTracer on the result no-ops).
+func MultiSink(sinks ...Sink) Sink {
+	active := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			active = append(active, s)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return nil
+	case 1:
+		return active[0]
+	}
+	return multiSink(active)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Span(r SpanRecord) {
+	for _, s := range m {
+		s.Span(r)
+	}
+}
+
+func (m multiSink) Metrics(snap Snapshot) {
+	for _, s := range m {
+		s.Metrics(snap)
+	}
+}
+
 // Tracer emits hierarchical spans into a Sink. The zero value is not
 // usable; NewTracer with a nil sink returns a nil tracer, on which every
 // method no-ops.
