@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race fuzz fuzz-backends faults lint bench bench-check experiments examples vet fmt clean
+.PHONY: all build test test-full race fuzz fuzz-backends faults daemon-test lint bench bench-check experiments examples vet fmt clean
 
 all: build vet test
 
@@ -50,7 +50,14 @@ fuzz-backends:
 # under the race detector. The faultinject registry is process-global,
 # so these tests never run in parallel with each other.
 faults:
-	$(GO) test -race -short -count=1 -run 'TestFault' ./internal/core ./internal/faultinject
+	$(GO) test -race -short -count=1 -run 'TestFault' ./internal/core ./internal/faultinject ./internal/serve
+
+# jinjingd daemon lane: the end-to-end warm-session suite (including
+# the warm-daemon vs cold-CLI byte-identity check, which builds the
+# jinjing binary — hence no -short), the concurrency/admission tests,
+# and the serve.job fault scenarios, all under the race detector.
+daemon-test:
+	$(GO) test -race -count=1 ./internal/serve ./internal/obs/serve
 
 # Formatting + static checks; fails when any file needs gofmt.
 lint:

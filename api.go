@@ -12,6 +12,7 @@ import (
 	"jinjing/internal/obs"
 	"jinjing/internal/obs/declog"
 	"jinjing/internal/obs/serve"
+	daemon "jinjing/internal/serve"
 	"jinjing/internal/topo"
 )
 
@@ -284,6 +285,23 @@ func NewEventHub() *EventHub { return serve.NewHub() }
 // NewStatsServer builds a telemetry server over a registry and hub
 // (either may be nil); bind it with Listen, stop it with Close.
 func NewStatsServer(m *Metrics, hub *EventHub) *StatsServer { return serve.New(m, hub) }
+
+// The warm-session verification daemon (see internal/serve and
+// cmd/jinjingd).
+type (
+	// Daemon is a long-lived HTTP/JSON service hosting named warm
+	// sessions, each owning one engine and cross-run verdict cache for
+	// one network; bind with Listen, stop with Close.
+	Daemon = daemon.Server
+	// DaemonConfig tunes admission (in-flight bound, per-tenant quotas)
+	// and the per-job option ceilings.
+	DaemonConfig = daemon.Config
+	// DaemonQuota is a per-tenant token-bucket admission budget.
+	DaemonQuota = daemon.Quota
+)
+
+// NewDaemon builds a warm-session daemon from cfg.
+func NewDaemon(cfg DaemonConfig) *Daemon { return daemon.New(cfg) }
 
 // Synthetic networks (the evaluation substrate).
 type (

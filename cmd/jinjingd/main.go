@@ -1,0 +1,83 @@
+// Command jinjingd is the warm-session verification daemon: a
+// long-lived HTTP/JSON service hosting named sessions, each keeping one
+// network's verification engine and cross-run verdict cache warm
+// between an operator's edits.
+//
+// Usage:
+//
+//	jinjingd [-listen :8080] [-max-inflight 8] [-decision-logs DIR]
+//	         [-quota-rate N] [-quota-burst N]
+//	         [-max-deadline D] [-max-fec-budget N] [-max-workers N]
+//
+// Walkthrough (see README "Running jinjingd" for full bodies):
+//
+//	curl -X PUT  localhost:8080/v1/sessions/wan -d @session.json
+//	curl -X POST localhost:8080/v1/sessions/wan/check -d '{}'
+//	curl -X POST localhost:8080/v1/sessions/wan/check -d @edit.json
+//	curl localhost:8080/metrics
+//
+// The second check runs warm: only FECs whose ACL bindings changed are
+// re-solved, the rest replay from the session's verdict cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jinjing/internal/serve"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8080", "address to serve the /v1 API and telemetry on")
+		maxInFlight  = flag.Int("max-inflight", 8, "concurrent job bound across sessions; past it POSTs get 429 (negative disables)")
+		quotaRate    = flag.Float64("quota-rate", 0, "per-tenant admitted jobs per second (0 disables quotas)")
+		quotaBurst   = flag.Float64("quota-burst", 0, "per-tenant admission burst (0 defaults to max(1, rate))")
+		maxDeadline  = flag.Duration("max-deadline", 0, "ceiling on per-job wall-clock deadlines; jobs without one inherit it (0 = uncapped)")
+		maxFECBudget = flag.Int64("max-fec-budget", 0, "ceiling on per-job SAT conflict budgets (0 = uncapped)")
+		maxWorkers   = flag.Int("max-workers", 0, "ceiling on per-job worker counts (0 = uncapped)")
+		declogDir    = flag.String("decision-logs", "", "directory for per-session decision ledgers (<dir>/<session>.jsonl)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "jinjingd: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *declogDir != "" {
+		if err := os.MkdirAll(*declogDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "jinjingd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		MaxInFlight:     *maxInFlight,
+		Quota:           serve.Quota{Rate: *quotaRate, Burst: *quotaBurst},
+		MaxDeadline:     *maxDeadline,
+		MaxPerFECBudget: *maxFECBudget,
+		MaxWorkers:      *maxWorkers,
+		DecisionLogDir:  *declogDir,
+	})
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jinjingd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "jinjingd: serving on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "jinjingd: shutting down")
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "jinjingd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "jinjingd: stopped after %v drain\n", time.Since(start).Round(time.Millisecond))
+}

@@ -238,6 +238,18 @@ func (e *Engine) UpdateAfter(after *topo.Network) {
 	e.ckctx = nil
 }
 
+// ReleaseSession drops the engine's warm solver state — the shared
+// encoder, the persistent sequential solver, the clausified prototype,
+// and the pooled worker forks — along with the current generation's
+// check state. A long-lived host (the jinjingd daemon) calls it when a
+// session is evicted or idles out, so solver memory is reclaimable
+// without discarding the engine or its bound verdict cache; the next
+// Check rebuilds the session cold but replays cached verdicts as usual.
+func (e *Engine) ReleaseSession() {
+	e.sess = nil
+	e.ckctx = nil
+}
+
 // derived builds a verification engine over a new After snapshot that
 // shares the parent's Before-derived artifacts — paths, classes, FECs,
 // dependency index — and its solver session and verdict cache, so the

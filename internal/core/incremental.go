@@ -265,6 +265,22 @@ func (vc *VerdictCache) insert(i int, ent *fecVerdict) {
 	m[h] = append(m[h], ent)
 }
 
+// Size reports how many per-FEC verdicts the cache currently holds
+// across all content keys — the warm-state figure a session host (the
+// jinjingd daemon) surfaces in its status endpoints. 0 for an unbound
+// or freshly reset cache.
+func (vc *VerdictCache) Size() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	n := 0
+	for _, m := range vc.byFEC {
+		for _, ents := range m {
+			n += len(ents)
+		}
+	}
+	return n
+}
+
 // witness returns the entry's memoized counterexample (nil when not yet
 // computed).
 func (vc *VerdictCache) witness(ent *fecVerdict) *Violation {

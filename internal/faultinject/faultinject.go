@@ -45,6 +45,14 @@ const (
 	FixSeek Site = "fix.seek"
 	// GenerateAEC guards each per-AEC synthesis solve of generate.
 	GenerateAEC Site = "generate.aec"
+	// ServeJob guards each admitted job of the jinjingd daemon
+	// (internal/serve), fired inside the session's critical section just
+	// before the engine runs. Panic simulates a job handler crash (the
+	// daemon must answer 500 and keep the session usable); Transient
+	// makes the job fail with a retryable 503; Timeout runs the job
+	// under an already-expired context, so the check reports undecided
+	// FECs that must never be cached.
+	ServeJob Site = "serve.job"
 )
 
 // Kind is the fault injected at a site.

@@ -70,12 +70,16 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 // Close shuts the server down, interrupting open /events streams.
+// Subscribers are closed even when the server was never bound with
+// Listen — a Handler() mounted under another mux (httptest, jinjingd)
+// still has /events goroutines parked on hub channels, and skipping the
+// hub close would leak every one of them.
 func (s *Server) Close() error {
-	if s.srv == nil {
-		return nil
-	}
 	if s.hub != nil {
 		s.hub.CloseSubscribers()
+	}
+	if s.srv == nil {
+		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()

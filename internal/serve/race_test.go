@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDaemonConcurrentJobs hammers one daemon from many goroutines —
+// same session and different sessions interleaved — and checks that no
+// job is lost: every POST is either a 200 with a well-formed result or
+// an admission 429, and the registry accounts for exactly the admitted
+// ones. Run under -race this is the daemon's data-race lane.
+func TestDaemonConcurrentJobs(t *testing.T) {
+	_, ts := newTestDaemon(t, Config{MaxInFlight: -1}) // admission off: every job must land
+	putSession(t, ts, "s1", edit1)
+	putSession(t, ts, "s2", edit1)
+
+	const goroutines = 8
+	const perG = 3
+	var ok200, other atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		name := "s1"
+		if g%2 == 1 {
+			name = "s2"
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				status, data := do(t, http.MethodPost, ts.URL+"/v1/sessions/"+name+"/check", nil, nil)
+				if status == http.StatusOK {
+					var resp CheckResponse
+					if err := json.Unmarshal(data, &resp); err != nil || resp.FECs == 0 {
+						t.Errorf("malformed concurrent check response: %s", data)
+					}
+					ok200.Add(1)
+				} else {
+					other.Add(1)
+					t.Errorf("concurrent check on %s: status %d, body %s", name, status, data)
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+
+	if got := ok200.Load(); got != goroutines*perG {
+		t.Fatalf("lost jobs: %d of %d succeeded (%d failed)", got, goroutines*perG, other.Load())
+	}
+	// The registry retained every job, all terminal.
+	status, data := do(t, http.MethodGet, ts.URL+"/v1/jobs", nil, nil)
+	if status != http.StatusOK {
+		t.Fatalf("list jobs: status %d", status)
+	}
+	var list struct {
+		Jobs []JobInfo `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != goroutines*perG {
+		t.Fatalf("registry retained %d jobs, want %d", len(list.Jobs), goroutines*perG)
+	}
+	for _, j := range list.Jobs {
+		if j.State != JobDone {
+			t.Fatalf("job %s left in state %q", j.ID, j.State)
+		}
+	}
+}
+
+// TestDaemonPerSessionSerialization pins the single-writer invariant:
+// however many jobs race at one session, at most one is ever inside
+// its critical section. The gate (called under the session lock)
+// counts concurrent entries per session.
+func TestDaemonPerSessionSerialization(t *testing.T) {
+	srv, ts := newTestDaemon(t, Config{MaxInFlight: -1})
+	putSession(t, ts, "s1", edit1)
+	putSession(t, ts, "s2", edit1)
+
+	var mu sync.Mutex
+	inside := map[string]int{}
+	srv.testGate = func(session, _ string) {
+		mu.Lock()
+		inside[session]++
+		if inside[session] > 1 {
+			t.Errorf("two jobs inside session %q concurrently", session)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond) // widen the window
+		mu.Lock()
+		inside[session]--
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		name := "s1"
+		if g%2 == 1 {
+			name = "s2"
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if status, _ := do(t, http.MethodPost, ts.URL+"/v1/sessions/"+name+"/check", nil, nil); status != http.StatusOK {
+				t.Errorf("serialized check on %s: status %d", name, status)
+			}
+		}(name)
+	}
+	wg.Wait()
+}
+
+// TestDaemonAdmissionSaturation fills the in-flight bound with jobs
+// parked on the test gate, then proves further POSTs are refused with
+// a structured 429 + Retry-After — and that refusals corrupt nothing:
+// once the gate opens, the parked jobs and a retry all succeed.
+func TestDaemonAdmissionSaturation(t *testing.T) {
+	srv, ts := newTestDaemon(t, Config{MaxInFlight: 2})
+	putSession(t, ts, "s1", edit1)
+	putSession(t, ts, "s2", edit1)
+
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv.testGate = func(_, _ string) {
+		entered <- struct{}{}
+		<-release
+	}
+
+	results := make(chan int, 2)
+	for _, name := range []string{"s1", "s2"} {
+		go func(name string) {
+			status, _ := do(t, http.MethodPost, ts.URL+"/v1/sessions/"+name+"/check", nil, nil)
+			results <- status
+		}(name)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("jobs never reached the gate")
+		}
+	}
+
+	// Both slots are held; every further POST is deterministically 429.
+	for i := 0; i < 3; i++ {
+		status, data := do(t, http.MethodPost, ts.URL+"/v1/sessions/s1/check", nil, nil)
+		if status != http.StatusTooManyRequests {
+			t.Fatalf("saturated POST %d: status %d, body %s", i, status, data)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Code != "saturated" || eb.Error.RetryAfterSec <= 0 {
+			t.Fatalf("want structured saturated error with retry hint, got %s", data)
+		}
+	}
+
+	// Opening the gate lets the parked jobs (and any later job, since
+	// the release channel stays closed) run to completion.
+	close(release)
+	for i := 0; i < 2; i++ {
+		select {
+		case status := <-results:
+			if status != http.StatusOK {
+				t.Fatalf("parked job finished with status %d", status)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked jobs never finished")
+		}
+	}
+	// The refused requests burned no slots: a retry succeeds.
+	if status, data := do(t, http.MethodPost, ts.URL+"/v1/sessions/s1/check", nil, nil); status != http.StatusOK {
+		t.Fatalf("retry after drain: status %d, body %s", status, data)
+	}
+}

@@ -1,0 +1,450 @@
+// Package serve is the jinjingd daemon: a long-lived HTTP/JSON service
+// hosting named warm verification sessions. Each session owns one
+// engine and one cross-run verdict cache for one network, so an
+// operator's edit–check–fix loop pays the cold costs (path enumeration,
+// FEC derivation, solver warm-up) once at PUT time and every subsequent
+// job runs warm — the deployment shape the paper's incremental numbers
+// assume, where re-verification after a small ACL edit is dominated by
+// the changed FECs, not the network size.
+//
+// API (all JSON):
+//
+//	PUT    /v1/sessions/{name}                load a network + LAI program
+//	GET    /v1/sessions[/{name}]              inspect
+//	DELETE /v1/sessions/{name}                unload
+//	POST   /v1/sessions/{name}/check          run a primitive; body carries
+//	POST   /v1/sessions/{name}/fix            an optional updated snapshot
+//	POST   /v1/sessions/{name}/generate       and per-job option overrides
+//	GET    /v1/jobs[/{id}]                    job records
+//	GET    /metrics /healthz /events /debug/pprof/   (internal/obs/serve)
+//
+// Jobs on one session are strictly serialized (the engine and verdict
+// cache are single-writer); across sessions they run concurrently up to
+// Config.MaxInFlight, past which the daemon answers 429 + Retry-After
+// rather than queueing unboundedly. Per-tenant token-bucket quotas
+// (X-Jinjing-Tenant header) bound admission per wall-clock second, and
+// per-job deadlines/budgets are clamped by the server's ceilings.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jinjing/internal/obs"
+	"jinjing/internal/obs/declog"
+	obsserve "jinjing/internal/obs/serve"
+)
+
+// Config tunes the daemon. The zero value serves with the defaults
+// below and no quotas or decision logs.
+type Config struct {
+	// MaxInFlight bounds concurrently executing jobs across all
+	// sessions; past it POSTs get 429 + Retry-After. 0 defaults to 8,
+	// negative disables the bound.
+	MaxInFlight int
+	// Quota is the per-tenant admission budget (zero disables).
+	Quota Quota
+	// MaxDeadline / MaxPerFECBudget / MaxWorkers are per-job ceilings:
+	// requested values above them are clamped, and a job with no
+	// deadline or budget of its own inherits the ceiling. 0 leaves the
+	// knob uncapped.
+	MaxDeadline     time.Duration
+	MaxPerFECBudget int64
+	MaxWorkers      int
+	// DecisionLogDir, when set, attaches a rotating JSONL decision
+	// ledger per session at <dir>/<session>.jsonl.
+	DecisionLogDir string
+}
+
+const defaultMaxInFlight = 8
+
+// Server is one daemon instance. Construct with New, bind with Listen
+// (or mount Handler under a test harness), stop with Close.
+type Server struct {
+	cfg      Config
+	metrics  *obs.Metrics
+	hub      *obsserve.Hub
+	stats    *obsserve.Server
+	observer *obs.Observer
+	quotas   *tenantQuotas
+	jobs     *jobRegistry
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+
+	inflight atomic.Int64
+
+	mux  *http.ServeMux
+	srv  *http.Server
+	lis  net.Listener
+	done chan struct{}
+
+	// testGate, when set, is called inside the session critical section
+	// before a job executes — the test suite uses it to hold admission
+	// slots open deterministically.
+	testGate func(session, kind string)
+}
+
+// New builds a daemon from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	metrics := obs.NewMetrics()
+	hub := obsserve.NewHub()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  metrics,
+		hub:      hub,
+		stats:    obsserve.New(metrics, hub),
+		observer: obs.NewObserver(obs.NewTracer(hub), metrics, obs.NewProgress(hub)),
+		quotas:   newTenantQuotas(cfg.Quota, nil),
+		jobs:     newJobRegistry(),
+		sessions: map[string]*session{},
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("PUT /v1/sessions/{name}", s.handleSessionPut)
+	s.mux.HandleFunc("GET /v1/sessions/{name}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{$}", s.handleSessionList)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/check", s.jobHandler("check"))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/fix", s.jobHandler("fix"))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/generate", s.jobHandler("generate"))
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{$}", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	// Telemetry surface: /metrics, /healthz, /events (SSE), /debug/pprof/.
+	s.mux.Handle("/", s.stats.Handler())
+	return s
+}
+
+// Handler returns the daemon's route table, for mounting under an
+// httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Observer returns the daemon's observer (spans, metrics, progress all
+// fan out to /metrics and /events).
+func (s *Server) Observer() *obs.Observer { return s.observer }
+
+// Listen binds addr (host:port; port 0 picks a free one), starts
+// serving in a goroutine, and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.srv = &http.Server{Handler: s.mux}
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(lis) //nolint:errcheck // ErrServerClosed on shutdown
+	}()
+	return lis.Addr().String(), nil
+}
+
+// Close shuts the daemon down: stops the listener, ends /events
+// streams, and releases every session (closing its ledger and solver
+// session). In-flight jobs holding a session lock finish first.
+func (s *Server) Close() error {
+	var err error
+	if s.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err = s.srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			s.srv.Close() //nolint:errcheck // force-close after timeout
+		}
+		<-s.done
+		s.srv = nil
+	}
+	s.stats.Close() //nolint:errcheck // closes hub subscribers; never bound
+	s.mu.Lock()
+	sessions := s.sessions
+	s.sessions = map[string]*session{}
+	s.closed = true
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		sess.closeLocked()
+		sess.mu.Unlock()
+	}
+	return err
+}
+
+// caps returns the per-job option ceilings.
+func (s *Server) caps() jobCaps {
+	return jobCaps{
+		maxDeadline:     s.cfg.MaxDeadline,
+		maxPerFECBudget: s.cfg.MaxPerFECBudget,
+		maxWorkers:      s.cfg.MaxWorkers,
+	}
+}
+
+// ---- session endpoints ----
+
+func (s *Server) handleSessionPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validSessionName(name) {
+		writeError(w, http.StatusBadRequest, &APIError{Code: "bad_request",
+			Message: fmt.Sprintf("invalid session name %q (want 1-%d chars of [A-Za-z0-9._-], not starting with '.' or '-')", name, maxSessionName)})
+		return
+	}
+	body, apiErr := readBody(w, r)
+	if apiErr != nil {
+		writeError(w, http.StatusBadRequest, apiErr)
+		return
+	}
+	req, err := DecodeSessionRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &APIError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+
+	var ledger *declog.Logger
+	var ledgerPath string
+	if s.cfg.DecisionLogDir != "" {
+		ledgerPath = filepath.Join(s.cfg.DecisionLogDir, name+".jsonl")
+		ledger, err = declog.Open(ledgerPath, declog.Options{})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, &APIError{Code: "internal",
+				Message: fmt.Sprintf("decision log: %v", err)})
+			return
+		}
+	}
+	sess, err := newSession(name, req, s.observer, ledger, ledgerPath)
+	if err != nil {
+		ledger.Close() //nolint:errcheck // best-effort on failed load
+		writeError(w, http.StatusBadRequest, &APIError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.mu.Lock()
+		sess.closeLocked()
+		sess.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: "internal", Message: "server closed"})
+		return
+	}
+	old := s.sessions[name]
+	s.sessions[name] = sess
+	s.mu.Unlock()
+
+	status := http.StatusCreated
+	if old != nil {
+		// Replacing discards the old session's warm cache; waiting for
+		// its lock lets an in-flight job finish cleanly first.
+		old.mu.Lock()
+		old.closeLocked()
+		old.mu.Unlock()
+		status = http.StatusOK
+	}
+	s.observer.Counter("daemon.sessions.loaded").Inc()
+	writeJSON(w, status, sess.info())
+}
+
+func (s *Server) lookup(name string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[name]
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("name"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &APIError{Code: "not_found",
+			Message: fmt.Sprintf("no session %q", r.PathValue("name"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	sess := s.sessions[name]
+	delete(s.sessions, name)
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &APIError{Code: "not_found",
+			Message: fmt.Sprintf("no session %q", name)})
+		return
+	}
+	sess.mu.Lock()
+	sess.closeLocked()
+	sess.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	infos := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		infos = append(infos, sess.info())
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, SessionList{Sessions: infos})
+}
+
+// ---- job endpoints ----
+
+func (s *Server) jobHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { s.handleJob(w, r, kind) }
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind string) {
+	sess := s.lookup(r.PathValue("name"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, &APIError{Code: "not_found",
+			Message: fmt.Sprintf("no session %q", r.PathValue("name"))})
+		return
+	}
+	body, apiErr := readBody(w, r)
+	if apiErr != nil {
+		writeError(w, http.StatusBadRequest, apiErr)
+		return
+	}
+	req, err := DecodeJobRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &APIError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+
+	// Admission: per-tenant quota first (a quota refusal must not burn
+	// an in-flight slot), then the global in-flight bound.
+	tenant := r.Header.Get("X-Jinjing-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	if ok, retry := s.quotas.admit(tenant); !ok {
+		s.observer.Counter("daemon.jobs.quota_rejected").Inc()
+		sec := int(retry/time.Second) + 1
+		writeError(w, http.StatusTooManyRequests, &APIError{Code: "quota_exhausted",
+			Message: fmt.Sprintf("tenant %q is out of admission tokens", tenant), RetryAfterSec: sec})
+		return
+	}
+	if n := s.inflight.Add(1); s.cfg.MaxInFlight > 0 && n > int64(s.cfg.MaxInFlight) {
+		s.inflight.Add(-1)
+		s.observer.Counter("daemon.jobs.saturated").Inc()
+		writeError(w, http.StatusTooManyRequests, &APIError{Code: "saturated",
+			Message: fmt.Sprintf("daemon is at its in-flight job bound (%d)", s.cfg.MaxInFlight), RetryAfterSec: 1})
+		return
+	}
+	defer s.inflight.Add(-1)
+
+	job := s.jobs.begin(sess.name, kind)
+	s.hub.Publish("job", eventJSON(job, JobRunning, nil))
+	s.observer.Counter("daemon.jobs.admitted").Inc()
+
+	start := time.Now()
+	result, apiErr := s.execute(r.Context(), sess, job.ID, kind, req)
+	wall := time.Since(start).Nanoseconds()
+	s.jobs.finish(job.ID, wall, result, apiErr)
+	if apiErr != nil {
+		s.observer.Counter("daemon.jobs.failed").Inc()
+		s.hub.Publish("job", eventJSON(job, JobFailed, apiErr))
+		writeError(w, statusFor(apiErr), apiErr)
+		return
+	}
+	s.observer.Counter("daemon.jobs.done").Inc()
+	s.hub.Publish("job", eventJSON(job, JobDone, nil))
+	writeJSON(w, http.StatusOK, result)
+}
+
+// execute runs one job inside the session's critical section,
+// converting a panicking job into a structured 500 while the deferred
+// unlock (run during the panic unwind) keeps the session usable for the
+// next job. The engine never caches a verdict it did not finish
+// computing, so a crash mid-job cannot poison the warm cache.
+func (s *Server) execute(ctx context.Context, sess *session, jobID, kind string, req *JobRequest) (result any, apiErr *APIError) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.observer.Counter("daemon.jobs.panics").Inc()
+			result = nil
+			apiErr = &APIError{Code: "job_panic", Message: fmt.Sprintf("job %s panicked: %v", jobID, r)}
+		}
+	}()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if s.testGate != nil {
+		s.testGate(sess.name, kind)
+	}
+	return sess.runLocked(ctx, jobID, kind, req, s.caps())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobInfo `json:"jobs"`
+	}{Jobs: s.jobs.list()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, &APIError{Code: "not_found",
+			Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// ---- plumbing ----
+
+// readBody reads a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, *APIError) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		return nil, &APIError{Code: "bad_request", Message: fmt.Sprintf("reading body: %v", err)}
+	}
+	return body, nil
+}
+
+// statusFor maps an APIError code to its HTTP status.
+func statusFor(e *APIError) int {
+	switch e.Code {
+	case "bad_request":
+		return http.StatusBadRequest
+	case "not_found":
+		return http.StatusNotFound
+	case "conflict":
+		return http.StatusConflict
+	case "saturated", "quota_exhausted":
+		return http.StatusTooManyRequests
+	case "unknown_verdicts":
+		return http.StatusUnprocessableEntity
+	case "transient_fault", "canceled":
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, e *APIError) {
+	if e.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSec))
+	}
+	writeJSON(w, status, errorBody{Error: *e})
+}
