@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race fuzz fuzz-backends faults daemon-test lint bench bench-check experiments examples vet fmt clean
+.PHONY: all build test test-full race fuzz fuzz-backends faults daemon-test lint bench bench-check bench-shard experiments examples vet fmt clean
 
 all: build vet test
 
@@ -69,12 +69,21 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Bench regression gate: rerun the incremental and backend figures
-# (medium size) and fail if a speedup ratio regresses >25% against the
-# committed BENCH_incremental.json / BENCH_backend.json baselines or
-# the identical-output invariant breaks. Part of the weekly CI lane.
+# Bench regression gate: rerun the incremental, shard, and backend
+# figures (medium size) and fail if a speedup (or sharding-overhead)
+# ratio regresses >25% against the committed BENCH_incremental.json /
+# BENCH_shard.json / BENCH_backend.json baselines or the
+# identical-output invariant breaks. Part of the weekly CI lane.
 bench-check:
 	JINJING_BENCH_CHECK=1 $(GO) test -count=1 -v -run TestBenchCheck ./internal/experiments
+
+# Regenerate the shard-scaling baseline (BENCH_shard.json): the full
+# small→xlarge grid with the xlarge tier opted in. The xlarge
+# monolithic arm is the multi-minute, memory-heavy cell the figure
+# exists to demonstrate against — budget several minutes.
+bench-shard:
+	JINJING_EXPERIMENTS_LARGE=1 $(GO) run ./cmd/jinjing-experiments \
+		-figures shard -large -json BENCH_shard.json
 
 # Regenerate the evaluation tables (small+medium; add -large manually)
 # plus the machine-readable BENCH_experiments.json artifact.

@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		large      = flag.Bool("large", false, "include the large network (minutes of runtime)")
-		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,inc,backend,t5")
+		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,inc,backend,shard,t5")
 		jsonPath   = flag.String("json", "", "also write the rows as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -139,6 +139,18 @@ func main() {
 		}
 		report.Backend = experiments.FigBackendCheck(beSizes)
 		experiments.PrintBackendRows(os.Stdout, report.Backend)
+		fmt.Println()
+	}
+	if want["shard"] {
+		// The shard figure includes the extrapolated xlarge tier only
+		// when the weekly large lane opts in: its monolithic arm is the
+		// multi-gigabyte run the figure exists to demonstrate against.
+		shardSizes := sizes
+		if os.Getenv("JINJING_EXPERIMENTS_LARGE") == "1" {
+			shardSizes = append(append([]netgen.Size{}, sizes...), netgen.XLarge)
+		}
+		report.Shard = experiments.FigShardCheck(shardSizes, []int{1, 4, 16})
+		experiments.PrintShardRows(os.Stdout, report.Shard)
 		fmt.Println()
 	}
 	if want["t5"] {

@@ -1,0 +1,103 @@
+// Command jinjing-shardcheck validates a shard-scaling report
+// (BENCH_shard.json or a fresh -figures shard -json run) against the
+// invariants the figure exists to pin:
+//
+//   - every row's check signature matched its size's monolithic row
+//     (sharding never changes output), and
+//   - the per-size FEC counts agree across shard counts, and
+//   - wherever a monolithic row exceeded the heap envelope
+//     (monolithic_infeasible), at least one sharded row of the same
+//     size fit under it — i.e. sharding actually rescued the size.
+//
+// Usage:
+//
+//	jinjing-shardcheck BENCH_shard.json
+//
+// Exit status 0 when every invariant holds, 1 with a diagnostic per
+// violation otherwise. The weekly CI lane runs it on a fresh
+// xlarge-inclusive report.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"jinjing/internal/experiments"
+	"jinjing/internal/netgen"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jinjing-shardcheck <report.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jinjing-shardcheck:", err)
+		os.Exit(2)
+	}
+	var report struct {
+		Shard []experiments.ShardRow `json:"shard"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		fmt.Fprintln(os.Stderr, "jinjing-shardcheck:", err)
+		os.Exit(2)
+	}
+	if len(report.Shard) == 0 {
+		fmt.Fprintln(os.Stderr, "jinjing-shardcheck: report has no shard rows")
+		os.Exit(1)
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "jinjing-shardcheck: "+format+"\n", args...)
+		failed = true
+	}
+
+	mono := map[netgen.Size]experiments.ShardRow{}
+	for _, row := range report.Shard {
+		if row.Shards <= 1 {
+			mono[row.Size] = row
+		}
+	}
+	rescued := map[netgen.Size]bool{}
+	for _, row := range report.Shard {
+		if !row.Identical {
+			fail("%s/shards=%d: output diverged from the monolithic row", row.Size, row.Shards)
+		}
+		m, ok := mono[row.Size]
+		if !ok {
+			fail("%s/shards=%d: no monolithic row for this size", row.Size, row.Shards)
+			continue
+		}
+		if row.FECs != m.FECs || row.SolvedFECs != m.SolvedFECs {
+			fail("%s/shards=%d: FEC counts diverged: %d/%d vs monolithic %d/%d",
+				row.Size, row.Shards, row.FECs, row.SolvedFECs, m.FECs, m.SolvedFECs)
+		}
+		if row.Shards > 1 && row.PeakHeapBytes <= experiments.MonolithicHeapEnvelope {
+			rescued[row.Size] = true
+		}
+	}
+	flaggedRescued := 0
+	for size, m := range mono {
+		if !m.MonolithicInfeasible {
+			continue
+		}
+		if !rescued[size] {
+			fail("%s: monolithic run exceeded the %d MiB envelope and no sharded run fit under it",
+				size, experiments.MonolithicHeapEnvelope>>20)
+			continue
+		}
+		flaggedRescued++
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("jinjing-shardcheck: %d rows ok (identical output, consistent FEC counts", len(report.Shard))
+	if flaggedRescued > 0 {
+		fmt.Printf(", %d envelope-exceeding size(s) rescued by sharding", flaggedRescued)
+	}
+	fmt.Println(")")
+}

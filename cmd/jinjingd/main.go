@@ -6,7 +6,7 @@
 // Usage:
 //
 //	jinjingd [-listen :8080] [-max-inflight 8] [-decision-logs DIR]
-//	         [-quota-rate N] [-quota-burst N]
+//	         [-quota-rate N] [-quota-burst N] [-session-ttl D]
 //	         [-max-deadline D] [-max-fec-budget N] [-max-workers N]
 //
 // Walkthrough (see README "Running jinjingd" for full bodies):
@@ -41,6 +41,7 @@ func main() {
 		maxFECBudget = flag.Int64("max-fec-budget", 0, "ceiling on per-job SAT conflict budgets (0 = uncapped)")
 		maxWorkers   = flag.Int("max-workers", 0, "ceiling on per-job worker counts (0 = uncapped)")
 		declogDir    = flag.String("decision-logs", "", "directory for per-session decision ledgers (<dir>/<session>.jsonl)")
+		sessionTTL   = flag.Duration("session-ttl", 0, "release a session's warm solver state after this much idle time; the session and its verdict cache stay loaded (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -62,6 +63,7 @@ func main() {
 		MaxPerFECBudget: *maxFECBudget,
 		MaxWorkers:      *maxWorkers,
 		DecisionLogDir:  *declogDir,
+		SessionTTL:      *sessionTTL,
 	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {

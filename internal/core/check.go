@@ -58,7 +58,14 @@ type CheckResult struct {
 	// stand-in for the paper's "DPLL recursive calls" (§9). It equals
 	// SolverStats.Conflicts and is kept for compatibility.
 	Conflicts int64
-	Timings   Timings
+	// PeakHeapBytes is the call's highest sampled live-heap size
+	// (runtime HeapAlloc). Sampled only when the sample is already paid
+	// for — sharded runs (once per shard, while the shard's window and
+	// builder are live), forensics, or an attached decision ledger —
+	// and 0 otherwise; the stop-the-world cost of a MemStats read never
+	// taxes the plain hot path.
+	PeakHeapBytes int64
+	Timings       Timings
 }
 
 // Check verifies packet (or desired, when controls are present)
@@ -124,9 +131,10 @@ func (e *Engine) checkWith(callCtx context.Context, workers int) *CheckResult {
 
 	fp := startPhase(root, res.Timings, "fec")
 	e.prepareIncremental(ctx)
-	res.FECs = len(ctx.fecs)
-	fp.end(obs.KV("fecs", len(ctx.fecs)))
+	res.FECs = ctx.nfec
+	fp.end(obs.KV("fecs", ctx.nfec))
 	statsBase := ctx.stats
+	ctx.peakHeap = 0
 
 	// Detection: resolve each FEC (differential skip, cached-verdict
 	// replay, SAT-free pre-filter) and decide the remaining queries.
@@ -136,7 +144,9 @@ func (e *Engine) checkWith(callCtx context.Context, workers int) *CheckResult {
 	// semantically examined (early stops leave the tail unexamined).
 	var hits []int
 	var last int
-	if workers > 1 {
+	if e.sharded() {
+		hits, last = e.solveSharded(cn, ctx, res, root, o, workers)
+	} else if workers > 1 {
 		hits, last = e.solveParallel(cn, ctx, res, root, o, workers)
 	} else {
 		hits, last = e.solveSequential(cn, ctx, res, root, o)
@@ -171,7 +181,17 @@ func (e *Engine) checkWith(callCtx context.Context, workers int) *CheckResult {
 	o.Gauge("impact.affected_fecs").Set(int64(res.Stats.AffectedFECs))
 
 	res.Conflicts = res.SolverStats.Conflicts
-	recordBuilderSize(o, ctx.sess.enc)
+	if e.sharded() {
+		// Shard builders are gone by now; report the largest one seen.
+		o.Gauge("smt.nodes").Set(ctx.maxNodes)
+	} else {
+		recordBuilderSize(o, ctx.sess.enc)
+	}
+	if e.sharded() || e.Opts.Forensics || e.Opts.DecisionLog != nil {
+		ctx.sampleHeap()
+		res.PeakHeapBytes = ctx.peakHeap
+		o.Gauge("mem.heap_peak_bytes").Set(ctx.peakHeap)
+	}
 	o.Counter("check.fecs").Add(int64(res.FECs))
 	o.Counter("check.fecs.solved").Add(int64(res.SolvedFECs))
 	o.Counter("check.violations").Add(int64(len(res.Violations)))
@@ -207,21 +227,21 @@ func (e *Engine) solveSequential(cn *canceller, ctx *checkCtx, res *CheckResult,
 	solver := sess.seq
 	cn.register(solver)
 	base := solver.Stats()
-	task := o.StartTask("check: FECs", int64(len(ctx.fecs)))
+	task := o.StartTask("check: FECs", int64(ctx.nfec))
 	so := solveObsFor(o, sp.sp)
 	ctx.resolveSpan = sp.sp
 	defer func() { ctx.resolveSpan = nil }()
 
 	var hits []int
-	last := len(ctx.fecs) - 1
+	last := ctx.nfec - 1
 	decided := 0
 scan:
-	for i := 0; i < len(ctx.fecs); i++ {
+	for i := 0; i < ctx.nfec; i++ {
 		if cn.cancelled() {
 			// The call is dead: everything not yet decided in the scan's
 			// range is Unknown — including unresolved FECs, whose verdicts
 			// this call can no longer establish.
-			for ; i < len(ctx.fecs); i++ {
+			for ; i < ctx.nfec; i++ {
 				if st := ctx.states[i]; st == fecUnresolved || st == fecPending {
 					ctx.markUnknown(i, reasonCancelled)
 				}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jinjing/internal/header"
+	"jinjing/internal/netgen"
+)
+
+// boundControls builds n synthetic controls whose matches inflate the
+// per-field atom counts deriveClasses sees: each control contributes a
+// distinct /8 source prefix and disjoint singleton-pair source and
+// destination port ranges, so src atoms grow ~n and each port axis
+// grows ~2n. Destination stays wildcard — the dst-atom count comes
+// entirely from the scope's entering traffic, which is what the
+// -shards suggestion splits.
+func boundControls(n int) []Control {
+	cs := make([]Control, n)
+	for i := range cs {
+		cs[i] = Control{Match: header.Match{
+			Src:     header.Prefix{Addr: uint32(i+1) << 24, Len: 8},
+			SrcPort: header.PortRange{Lo: uint16(4*i + 2), Hi: uint16(4*i + 3)},
+			DstPort: header.PortRange{Lo: uint16(4 * i), Hi: uint16(4*i + 1)},
+			Proto:   header.AnyProto,
+		}}
+	}
+	return cs
+}
+
+// TestDeriveClassesShardBound exercises the three failure branches of
+// the maxGeneratedClasses guard: the unsharded error must suggest a
+// concrete -shards value, the sharded error must report the per-shard
+// excess and a larger -shards value, and when a single destination atom
+// already exceeds the bound the error must say sharding cannot help.
+// All three fire before the output slice is allocated, so the test
+// never materializes a multi-million-class cross product.
+func TestDeriveClassesShardBound(t *testing.T) {
+	w := netgen.Build(netgen.DefaultConfig(netgen.Small, 1))
+
+	// Sanity: the untouched engine derives classes without error, and
+	// sharding does not change the derivation (the guard splits the
+	// bound, never the output).
+	base := New(w.Net, w.Net, w.Scope, DefaultOptions())
+	want, err := base.deriveClasses()
+	if err != nil {
+		t.Fatalf("baseline deriveClasses: %v", err)
+	}
+	shardedOpts := DefaultOptions()
+	shardedOpts.Shards = 4
+	sharded := New(w.Net, w.Net, w.Scope, shardedOpts)
+	got, err := sharded.deriveClasses()
+	if err != nil {
+		t.Fatalf("sharded deriveClasses: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded derivation changed the class count: %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sharded derivation diverged at class %d: %v != %v", i, got[i], want[i])
+		}
+	}
+
+	// Branch 1: unsharded engine over the bound. ~60 controls put the
+	// non-dst product near 900k, and the scope's dst atoms multiply it
+	// well past 2M; the error must name the atom counts and suggest a
+	// -shards value.
+	e := New(w.Net, w.Net, w.Scope, DefaultOptions())
+	e.Controls = boundControls(60)
+	_, err = e.deriveClasses()
+	if err == nil {
+		t.Fatal("unsharded over-bound derivation succeeded; guard gone")
+	}
+	for _, frag := range []string{"pass -shards", "proto atoms", "dst ×"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("unsharded error %q missing %q", err, frag)
+		}
+	}
+
+	// Branch 2: sharded but the shard count is still too small. The
+	// error must report the per-shard framing and ask for more shards.
+	opts := DefaultOptions()
+	opts.Shards = 2
+	e = New(w.Net, w.Net, w.Scope, opts)
+	e.Controls = boundControls(60)
+	_, err = e.deriveClasses()
+	if err == nil {
+		t.Fatal("under-sharded over-bound derivation succeeded; per-shard guard gone")
+	}
+	for _, frag := range []string{"per shard", "raise -shards"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("sharded error %q missing %q", err, frag)
+		}
+	}
+
+	// Branch 3: a single destination atom exceeds the bound on its own
+	// (~120 controls push the non-dst product past 2M), so no shard
+	// count can help and the error must say so rather than suggest one.
+	e = New(w.Net, w.Net, w.Scope, DefaultOptions())
+	e.Controls = boundControls(120)
+	_, err = e.deriveClasses()
+	if err == nil {
+		t.Fatal("dst-irreducible over-bound derivation succeeded")
+	}
+	if !strings.Contains(err.Error(), "cannot split below that") {
+		t.Fatalf("dst-irreducible error %q does not say sharding cannot help", err)
+	}
+	if strings.Contains(err.Error(), "raise -shards") {
+		t.Fatalf("dst-irreducible error %q suggests raising -shards, which cannot help", err)
+	}
+}

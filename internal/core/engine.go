@@ -110,6 +110,21 @@ type Options struct {
 	// worker count (pinned by the differential fuzz harness and the CLI
 	// golden test).
 	Workers int
+	// Shards > 1 streams Check through that many contiguous FEC shards
+	// instead of materializing the whole scope at once: FECs are derived
+	// lazily from a streaming index (topo.FECSource), each shard gets its
+	// own encoder and solver whose formulas are released when the shard
+	// completes, and generate's class derivation bounds its cross-product
+	// guard per destination shard rather than globally. Shards are
+	// verified in FEC order and merged deterministically, so verdicts,
+	// counterexamples, and every reported count are byte-identical to the
+	// unsharded engine at any worker count (pinned by the shard fuzz lane
+	// and the CLI golden test) — like Workers, the setting can only
+	// change cost, never a result. The trade is warm-path speed for peak
+	// memory: sharded sessions rebuild per-shard formulas on every call
+	// (the verdict cache still short-circuits unchanged FECs), in
+	// exchange for live solver memory bounded by the largest shard.
+	Shards int
 	// Obs receives spans, metrics, and progress from every primitive.
 	// nil (the default) disables observability at zero cost: the no-op
 	// path adds no allocations to the solve hot loop (guarded by a
@@ -200,6 +215,10 @@ type Engine struct {
 	paths   []topo.Path
 	classes []header.Prefix
 	fecs    []topo.FEC
+	// fecSrc is the streaming FEC index used instead of fecs when
+	// Opts.Shards > 1; Before-derived, so it is shared with derived
+	// verification engines and survives UpdateAfter.
+	fecSrc *topo.FECSource
 
 	// depIdx is the lazily built dependency index (binding ID -> FEC
 	// indices) of the change-impact analysis; Before-derived, so it is
@@ -264,7 +283,7 @@ func (e *Engine) derived(after *topo.Network, parent *obs.Span) *Engine {
 		Before: e.Before, After: after, Scope: e.Scope,
 		Controls: e.Controls, Opts: opts, parentSpan: parent,
 		paths: e.paths, classes: e.classes, fecs: e.fecs,
-		depIdx: e.depIdx, sess: e.sess,
+		fecSrc: e.fecSrc, depIdx: e.depIdx, sess: e.sess,
 	}
 }
 
@@ -305,6 +324,37 @@ func (e *Engine) FECs() []topo.FEC {
 	}
 	return e.fecs
 }
+
+// sharded reports whether Check streams through FEC shards.
+func (e *Engine) sharded() bool { return e.Opts.Shards > 1 }
+
+// fecSource returns the streaming FEC index, built once. It yields the
+// same FECs in the same order as FECs() but stores only index vectors;
+// FEC values are materialized per shard.
+func (e *Engine) fecSource() *topo.FECSource {
+	if e.fecSrc == nil {
+		e.fecSrc = topo.NewFECSource(e.Paths(), e.Classes())
+	}
+	return e.fecSrc
+}
+
+// NumFECs returns the number of forwarding equivalence classes without
+// forcing a full materialization in sharded mode.
+func (e *Engine) NumFECs() int {
+	if e.fecs != nil {
+		return len(e.fecs)
+	}
+	if e.sharded() || e.fecSrc != nil {
+		return e.fecSource().NumFECs()
+	}
+	return len(e.FECs())
+}
+
+// SessionWarm reports whether the engine currently holds warm solver
+// state (an encoder and persistent solvers from a previous Check). A
+// host can use it to decide whether ReleaseSession would reclaim
+// anything.
+func (e *Engine) SessionWarm() bool { return e.sess != nil }
 
 // bindingACL returns the ACL bound at the binding's position in the given
 // network (nil when unbound there).

@@ -110,8 +110,8 @@ func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 
 	sp := startPhase(root, res.Timings, "solve")
 	iterations := o.Counter("fix.iterations")
-	fecs := ctx.fecs
-	task := o.StartTask("fix: FECs", int64(len(fecs)))
+	nfec := ctx.numFECs()
+	task := o.StartTask("fix: FECs", int64(nfec))
 
 	apply := func(out fecFixOutcome) error {
 		// Merge one FEC's entries in discovery order, honoring the
@@ -147,8 +147,8 @@ func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 	// run: the seek loop's iterations don't depend on the budget.)
 	var blocked []UnknownFEC
 	if workers := e.Opts.Workers; workers > 1 {
-		outcomes := make([]fecFixOutcome, len(fecs))
-		runParallel(o, workers, len(fecs), func(i int) {
+		outcomes := make([]fecFixOutcome, nfec)
+		runParallel(o, workers, nfec, func(i int) {
 			outcomes[i] = e.fixFEC(cn, ctx, i, &cons, allowSet, maxN)
 			task.Add(1)
 		})
@@ -157,7 +157,7 @@ func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 				return nil, out.err
 			}
 			if out.unknown != "" {
-				blocked = append(blocked, UnknownFEC{FEC: i, Classes: fecs[i].Classes, Reason: out.unknown})
+				blocked = append(blocked, UnknownFEC{FEC: i, Classes: ctx.fec(i).Classes, Reason: out.unknown})
 				continue
 			}
 			if err := apply(out); err != nil {
@@ -165,7 +165,7 @@ func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 			}
 		}
 	} else {
-		for i := range fecs {
+		for i := 0; i < nfec; i++ {
 			task.Add(1)
 			out := e.fixFEC(cn, ctx, i, &cons, allowSet,
 				maxN-len(res.Neighborhoods)-len(res.Unfixable))
@@ -173,7 +173,7 @@ func (e *Engine) FixContext(callCtx context.Context) (*FixResult, error) {
 				return nil, out.err
 			}
 			if out.unknown != "" {
-				blocked = append(blocked, UnknownFEC{FEC: i, Classes: fecs[i].Classes, Reason: out.unknown})
+				blocked = append(blocked, UnknownFEC{FEC: i, Classes: ctx.fec(i).Classes, Reason: out.unknown})
 				continue
 			}
 			if err := apply(out); err != nil {
@@ -361,7 +361,7 @@ func (e *Engine) seekNeighborhoods(cn *canceller, fec topo.FEC, diff []acl.Rule,
 // is inserted into the cache, warming the verification check and later
 // pipeline stages.
 func (e *Engine) fixFEC(cn *canceller, ctx *checkCtx, i int, consBase *constancy, allowSet map[string]bool, budget int) fecFixOutcome {
-	fec := ctx.fecs[i]
+	fec := ctx.fec(i)
 	if budget <= 0 || (e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff)) {
 		// Skip before paying for the per-FEC builder.
 		return fecFixOutcome{}

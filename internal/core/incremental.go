@@ -305,9 +305,9 @@ func (vc *VerdictCache) memoWitness(ent *fecVerdict, v *Violation) {
 func (e *Engine) depIndex() map[string][]int {
 	if e.depIdx == nil {
 		idx := map[string][]int{}
-		for i, fec := range e.FECs() {
+		add := func(i int, paths []topo.Path) {
 			seen := map[string]bool{}
-			for _, p := range fec.Paths {
+			for _, p := range paths {
 				for _, b := range p.Bindings() {
 					id := b.ID()
 					if !seen[id] {
@@ -315,6 +315,21 @@ func (e *Engine) depIndex() map[string][]int {
 						idx[id] = append(idx[id], i)
 					}
 				}
+			}
+		}
+		if e.sharded() {
+			// Stream over the index vectors: no FEC materialization.
+			src, paths := e.fecSource(), e.Paths()
+			for i := 0; i < src.NumFECs(); i++ {
+				fecPaths := make([]topo.Path, 0, len(src.PathIndices(i)))
+				for _, pi := range src.PathIndices(i) {
+					fecPaths = append(fecPaths, paths[pi])
+				}
+				add(i, fecPaths)
+			}
+		} else {
+			for i, fec := range e.FECs() {
+				add(i, fec.Paths)
 			}
 		}
 		e.depIdx = idx
@@ -330,10 +345,16 @@ func (e *Engine) prepareIncremental(ctx *checkCtx) {
 		return
 	}
 	ctx.incReady = true
-	if ctx.fecs == nil {
-		ctx.fecs = e.FECs()
+	if ctx.fecs == nil && ctx.src == nil {
+		if e.sharded() {
+			ctx.src = e.fecSource()
+			ctx.nfec = ctx.src.NumFECs()
+		} else {
+			ctx.fecs = e.FECs()
+			ctx.nfec = len(ctx.fecs)
+		}
 	}
-	n := len(ctx.fecs)
+	n := ctx.nfec
 	ctx.states = make([]fecState, n)
 	ctx.entries = make([]*fecVerdict, n)
 	ctx.unknownReason = make([]string, n)
@@ -495,7 +516,7 @@ func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
 		}
 		ctx.states[i] = fecUnresolved
 	}
-	fec := ctx.fecs[i]
+	fec := ctx.fec(i)
 	if e.Opts.UseDifferential && !e.fecTouchesDiff(fec, ctx.diff) {
 		ctx.states[i] = fecSkipped
 		ctx.routes[i] = routeSkip
@@ -559,8 +580,8 @@ func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
 	if ctx.routes[i] == routeNone {
 		ctx.routes[i] = routeSAT
 	}
-	viol := e.fecViolationFormula(ctx.sess.enc, fec, ctx.encodeACLs)
-	enc := ctx.sess.enc
+	enc := ctx.enc()
+	viol := e.fecViolationFormula(enc, fec, ctx.encodeACLs)
 	ctx.jobOf[i] = int32(len(ctx.jobs))
 	ctx.jobs = append(ctx.jobs, checkJob{
 		fecIdx: i,
@@ -670,7 +691,7 @@ func (e *Engine) witnessFor(ctx *checkCtx, i int, res *CheckResult, o *obs.Obser
 	// of the FEC and ACL contents, so which one answers is itself
 	// backend-independent and the reported bytes stay identical across
 	// backends, worker counts, and cache states.
-	v, ok := e.psetWitnessFEC(ctx, ctx.fecs[i])
+	v, ok := e.psetWitnessFEC(ctx, ctx.fec(i))
 	if !ok {
 		var st sat.Stats
 		v, st = e.witnessFEC(ctx, i)
@@ -689,7 +710,7 @@ func (e *Engine) witnessFor(ctx *checkCtx, i int, res *CheckResult, o *obs.Obser
 // worker count, and cache state — the property that keeps warm replays
 // byte-identical to a fresh-engine cold run.
 func (e *Engine) witnessFEC(ctx *checkCtx, i int) (Violation, sat.Stats) {
-	fec := ctx.fecs[i]
+	fec := ctx.fec(i)
 	enc := newEncoder(e.Opts.UseTournament, e.obsv())
 	viol := e.fecViolationFormula(enc, fec, ctx.encodeACLs)
 	query := enc.b.And(viol, enc.classPred(fec.Classes))
@@ -724,7 +745,7 @@ func (ctx *checkCtx) commitGeneration() {
 	vc := ctx.vc
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
-	newGen := make([]*fecVerdict, len(ctx.fecs))
+	newGen := make([]*fecVerdict, ctx.nfec)
 	for i := range newGen {
 		switch {
 		case ctx.entries[i] != nil:

@@ -56,7 +56,24 @@ type checkCtx struct {
 	diffRules  int
 	aclPairs   int
 
+	// Exactly one of fecs/src is set: fecs is the full materialization
+	// (unsharded engines), src the streaming index (sharded engines).
+	// nfec is the FEC count either way; all pipeline code goes through
+	// the fec/numFECs accessors so both representations behave alike.
 	fecs []topo.FEC
+	src  *topo.FECSource
+	nfec int
+	// window is the currently materialized shard [winLo, winLo+len),
+	// and shardEnc the shard's private encoder; both are set only while
+	// solveSharded works a shard and released when it completes.
+	window   []topo.FEC
+	winLo    int
+	shardEnc *encoder
+	// maxNodes tracks the largest per-shard builder of the current call
+	// (reported where the unsharded path reports its builder size);
+	// peakHeap is the call's max sampled heap (see sampleHeap).
+	maxNodes int64
+	peakHeap int64
 
 	// Incremental resolution state (sized by prepareIncremental).
 	incReady bool
@@ -116,6 +133,32 @@ type checkCtx struct {
 	lastGen  []*fecVerdict
 
 	stats CacheStats
+}
+
+// fec returns FEC i regardless of representation: the materialized
+// slice, the open shard window, or a one-off materialization from the
+// streaming index (witness passes touch hit FECs after their shard's
+// window is released).
+func (ctx *checkCtx) fec(i int) topo.FEC {
+	if ctx.fecs != nil {
+		return ctx.fecs[i]
+	}
+	if ctx.window != nil && i >= ctx.winLo && i < ctx.winLo+len(ctx.window) {
+		return ctx.window[i-ctx.winLo]
+	}
+	return ctx.src.Materialize(i)
+}
+
+// numFECs returns the generation's FEC count.
+func (ctx *checkCtx) numFECs() int { return ctx.nfec }
+
+// enc returns the encoder FEC formulas are built on: the open shard's
+// private encoder in sharded mode, the session encoder otherwise.
+func (ctx *checkCtx) enc() *encoder {
+	if ctx.shardEnc != nil {
+		return ctx.shardEnc
+	}
+	return ctx.sess.enc
 }
 
 // checkContext returns the engine's cached per-generation check state,
@@ -187,9 +230,9 @@ func (e *Engine) solveParallel(cn *canceller, ctx *checkCtx, res *CheckResult, r
 	// (formula construction isn't worth finishing for a dead call).
 	ep := startPhase(root, res.Timings, "encode")
 	ctx.resolveSpan = ep.sp
-	stop := len(ctx.fecs)
+	stop := ctx.nfec
 	replayed := -1
-	for i := 0; i < len(ctx.fecs); i++ {
+	for i := 0; i < ctx.nfec; i++ {
 		if cn.cancelled() {
 			for ; i < stop; i++ {
 				if st := ctx.states[i]; st == fecUnresolved || st == fecPending {
@@ -438,9 +481,9 @@ func (e *Engine) solveParallel(cn *canceller, ctx *checkCtx, res *CheckResult, r
 	// Merge deterministically from the per-FEC states: worker
 	// scheduling decided who solved what, the states say what came out.
 	var hits []int
-	last := len(ctx.fecs) - 1
+	last := ctx.nfec - 1
 	if findAll {
-		for i := range ctx.fecs {
+		for i := 0; i < ctx.nfec; i++ {
 			if ctx.states[i] == fecViolating {
 				hits = append(hits, i)
 			}

@@ -295,7 +295,7 @@ func collectUnknown(ctx *checkCtx, res *CheckResult, last int, o *obs.Observer) 
 		if ctx.states[i] == fecUnknown {
 			res.Unknown = append(res.Unknown, UnknownFEC{
 				FEC:     i,
-				Classes: ctx.fecs[i].Classes,
+				Classes: ctx.fec(i).Classes,
 				Reason:  ctx.unknownReason[i],
 			})
 		}

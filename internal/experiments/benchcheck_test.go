@@ -11,10 +11,11 @@ import (
 )
 
 // TestBenchCheck is the `make bench-check` regression gate: it reruns
-// the incremental and backend figures at the medium size and compares
-// their machine-independent ratios against the committed BENCH_*.json
-// baselines. A fresh run regressing more than 25% on a speedup ratio —
-// or losing the identical-output invariant — fails.
+// the incremental, shard, and backend figures at the medium size and
+// compares their machine-independent ratios against the committed
+// BENCH_*.json baselines. A fresh run regressing more than 25% on a
+// speedup (or sharding-overhead) ratio — or losing the
+// identical-output invariant — fails.
 //
 // The gate is opt-in (JINJING_BENCH_CHECK=1): the figures take tens of
 // seconds and ratios on loaded laptops are noisy, so it runs in the
@@ -58,6 +59,57 @@ func TestBenchCheck(t *testing.T) {
 		}
 	})
 
+	t.Run("shard", func(t *testing.T) {
+		var baseline struct {
+			Shard []ShardRow `json:"shard"`
+		}
+		readJSON(t, filepath.Join(root, "BENCH_shard.json"), &baseline)
+		if len(baseline.Shard) == 0 {
+			t.Fatal("baseline has no shard rows")
+		}
+		fresh := FigShardCheck(sizes, []int{1, 4, 16})
+		mono := findShard(fresh, netgen.Medium, 1)
+		if mono == nil {
+			t.Fatal("fresh run missing the medium monolithic row")
+		}
+		baseMono := findShard(baseline.Shard, netgen.Medium, 1)
+		if baseMono == nil {
+			t.Fatal("baseline missing the medium monolithic row")
+		}
+		for _, base := range baseline.Shard {
+			if base.Size != netgen.Medium {
+				continue
+			}
+			got := findShard(fresh, base.Size, base.Shards)
+			if got == nil {
+				t.Errorf("fresh run missing row %s/shards=%d", base.Size, base.Shards)
+				continue
+			}
+			if !got.Identical {
+				t.Errorf("%s/shards=%d: sharded output diverged from monolithic", base.Size, base.Shards)
+			}
+			if got.FECs != base.FECs {
+				t.Errorf("%s/shards=%d: FEC count changed: baseline %d, fresh %d",
+					base.Size, base.Shards, base.FECs, got.FECs)
+			}
+			if base.Shards <= 1 {
+				continue
+			}
+			// The machine-independent ratio is the sharding overhead:
+			// sharded cold time over monolithic cold time on the same
+			// host. Fail when it grows >1/tolerance over the baseline.
+			baseOverhead := float64(base.ColdElapsed) / float64(baseMono.ColdElapsed)
+			freshOverhead := float64(got.ColdElapsed) / float64(mono.ColdElapsed)
+			if freshOverhead*tolerance > baseOverhead {
+				t.Errorf("%s/shards=%d: sharding overhead regressed >%.0f%%: baseline %.2fx, fresh %.2fx",
+					base.Size, base.Shards, (1/tolerance-1)*100, baseOverhead, freshOverhead)
+			}
+			t.Logf("%s/shards=%d: overhead baseline %.2fx, fresh %.2fx (peak heap %.1fM vs mono %.1fM)",
+				base.Size, base.Shards, baseOverhead, freshOverhead,
+				float64(got.PeakHeapBytes)/1e6, float64(mono.PeakHeapBytes)/1e6)
+		}
+	})
+
 	t.Run("backend", func(t *testing.T) {
 		var baseline struct {
 			Backend []BackendRow `json:"backend"`
@@ -92,6 +144,15 @@ func TestBenchCheck(t *testing.T) {
 func findIncremental(rows []IncrementalRow, size netgen.Size, site string) *IncrementalRow {
 	for i := range rows {
 		if rows[i].Size == size && rows[i].EditSite == site {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func findShard(rows []ShardRow, size netgen.Size, shards int) *ShardRow {
+	for i := range rows {
+		if rows[i].Size == size && rows[i].Shards == shards {
 			return &rows[i]
 		}
 	}

@@ -19,9 +19,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jinjing/internal/acl"
@@ -827,6 +831,158 @@ func FigBackendCheck(sizes []netgen.Size) []BackendRow {
 	return rows
 }
 
+// ShardRow is one shard-scaling measurement: the same cold check run
+// monolithically (shards=1) and sharded, with wall time and peak live
+// heap. The sharded rows must be byte-identical in outcome to the
+// monolithic row; what sharding buys is the memory column.
+type ShardRow struct {
+	Size          netgen.Size   `json:"size"`
+	PerturbPct    float64       `json:"perturb_pct"`
+	Shards        int           `json:"shards"`
+	Workers       int           `json:"workers"`
+	Consistent    bool          `json:"consistent"`
+	FECs          int           `json:"fecs"`
+	SolvedFECs    int           `json:"solved_fecs"`
+	PeakHeapBytes int64         `json:"peak_heap_bytes"`
+	ColdElapsed   time.Duration `json:"cold_elapsed_ns"`
+	// Identical records the row's check signature matched the
+	// monolithic (shards=1) row's of the same size.
+	Identical bool `json:"identical"`
+	// MonolithicInfeasible marks a shards=1 row whose peak heap
+	// exceeded MonolithicHeapEnvelope — the regime the sharded pipeline
+	// exists for: past it, only bounded per-shard derivation fits the
+	// envelope a verification host is willing to give one check.
+	MonolithicInfeasible bool `json:"monolithic_infeasible,omitempty"`
+}
+
+// MonolithicHeapEnvelope is the live-heap budget a single check is
+// granted before its monolithic run is declared infeasible in the
+// FigShardCheck scaling study — the model of a per-check container
+// limit on a verification host. Calibrated against the measured curve
+// (find-all basic mode, GOGC≈10, 4 workers): monolithic peaks grow
+// with FEC count — large (193 FECs) ~38 MB, xlarge (577 FECs)
+// ~129 MB — because every FEC's formula is live in one encoder at
+// solve time, while sharded runs of the same sizes hold ~28 MB and
+// ~98 MB: the shared substrate (network, paths, classes, witnesses)
+// plus only one shard's formulas. The envelope sits between the
+// sharded and monolithic xlarge peaks with ~13% margin each way, so
+// the flag trips exactly where bounded per-shard derivation starts
+// being the only way to fit the budget.
+const MonolithicHeapEnvelope = int64(112) << 20 // 112 MiB
+
+// sampleHeapDuring runs f while polling the live heap, returning the
+// peak HeapAlloc observed. ReadMemStats stop-the-world pauses are
+// microseconds — negligible at this cadence against checks that run
+// milliseconds to minutes.
+func sampleHeapDuring(f func()) int64 {
+	var peak atomic.Int64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if v := int64(ms.HeapAlloc); v > peak.Load() {
+			peak.Store(v)
+		}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	f()
+	close(done)
+	<-finished
+	sample()
+	return peak.Load()
+}
+
+// largeExperimentsEnabled gates the extrapolated xlarge/huge tiers: a
+// monolithic xlarge check allocates gigabytes and runs for minutes, so
+// those rows only run when JINJING_EXPERIMENTS_LARGE=1 (the weekly CI
+// lane), never on a default invocation.
+func largeExperimentsEnabled() bool {
+	return os.Getenv("JINJING_EXPERIMENTS_LARGE") == "1"
+}
+
+// FigShardCheck measures the shard-and-stream pipeline's scaling curve:
+// cold-check turnaround and peak live heap versus size × shard count,
+// at a fixed worker count. The workload is the memory-heaviest
+// detection regime, as in FigParallelCheck: basic mode (no Theorem 4.1
+// filtering, so every FEC's full ACL stack is encoded), tournament
+// encoding, find-all (no early exit). Monolithically that means every
+// FEC's formula is live in one builder at solve time; sharded, only
+// one shard's worth ever is. Each cell is a fresh engine; input
+// preprocessing is prewarmed as in Fig. 4a (monolithic cells
+// materialize the FEC slice, sharded cells only the index — that
+// asymmetry IS the system under measurement). A GC before each timed
+// region resets the heap floor so peaks are comparable across cells,
+// and the figure runs under an aggressive GC target (GOGC≈10) so
+// HeapAlloc tracks live memory instead of live-plus-garbage — without
+// it the default 100% growth target lets a released shard's garbage
+// linger and the curve measures the collector's laziness, not the
+// pipeline's footprint. Sizes beyond Large are skipped unless
+// JINJING_EXPERIMENTS_LARGE=1.
+func FigShardCheck(sizes []netgen.Size, shardCounts []int) []ShardRow {
+	const pct = 5
+	const workers = 4
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+	var rows []ShardRow
+	for _, size := range sizes {
+		if size > netgen.Large && !largeExperimentsEnabled() {
+			continue
+		}
+		w := GetWAN(size)
+		after := w.Perturb(Seed+int64(pct*10), pct)
+
+		var want string
+		for _, shards := range shardCounts {
+			opts := defaultOptions()
+			opts.UseDifferential = false
+			opts.UseTournament = true
+			opts.FindAllViolations = true
+			opts.Shards = shards
+			e := core.New(w.Net, after, w.Scope, opts)
+			e.NumFECs()
+
+			runtime.GC()
+			var res *core.CheckResult
+			var elapsed time.Duration
+			peak := sampleHeapDuring(func() {
+				t0 := time.Now()
+				res = e.CheckParallel(workers)
+				elapsed = time.Since(t0)
+			})
+			if res.PeakHeapBytes > peak {
+				peak = res.PeakHeapBytes
+			}
+			sig := resultSignature(res)
+			if want == "" {
+				want = sig
+			}
+			row := ShardRow{
+				Size: size, PerturbPct: pct, Shards: shards, Workers: workers,
+				Consistent: res.Consistent, FECs: res.FECs,
+				SolvedFECs: res.SolvedFECs, PeakHeapBytes: peak,
+				ColdElapsed: elapsed, Identical: sig == want,
+			}
+			if shards <= 1 && peak > MonolithicHeapEnvelope {
+				row.MonolithicInfeasible = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
 // Table5Row is one LAI program-size measurement.
 type Table5Row struct {
 	Size       netgen.Size `json:"size"`
@@ -923,7 +1079,10 @@ type BenchReport struct {
 	// Backend is the auto-vs-sat backend-selection figure
 	// (BENCH_backend.json when run with -figures backend).
 	Backend []BackendRow `json:"backend,omitempty"`
-	Table5  []Table5Row  `json:"table5,omitempty"`
+	// Shard is the shard-and-stream scaling figure (BENCH_shard.json
+	// when run with -figures shard).
+	Shard  []ShardRow  `json:"shard,omitempty"`
+	Table5 []Table5Row `json:"table5,omitempty"`
 	// Metrics is the final metrics snapshot of the run's shared Observer
 	// (set by cmd/jinjing-experiments so -json output carries the same
 	// registry dump `jinjing -metrics` prints).
@@ -1006,6 +1165,23 @@ func PrintIncrementalRows(w io.Writer, rows []IncrementalRow) {
 			r.CacheHits, r.CacheMisses, r.Prefiltered, 100*r.HitRate,
 			r.ColdElapsed.Round(time.Millisecond),
 			r.WarmElapsed.Round(100*time.Microsecond), r.Speedup, r.Identical)
+	}
+}
+
+// PrintShardRows formats the shard-scaling results.
+func PrintShardRows(w io.Writer, rows []ShardRow) {
+	fmt.Fprintf(w, "Shard scaling — cold check time and peak live heap vs size × shards (find-all, 5%% perturbation)\n")
+	fmt.Fprintf(w, "%-8s %7s %8s %6s %7s %12s %12s %9s %s\n",
+		"size", "shards", "workers", "FECs", "solved", "peak-heap", "cold", "identical", "")
+	for _, r := range rows {
+		note := ""
+		if r.MonolithicInfeasible {
+			note = "  << over envelope"
+		}
+		fmt.Fprintf(w, "%-8s %7d %8d %6d %7d %11.1fM %12v %9v%s\n",
+			r.Size, r.Shards, r.Workers, r.FECs, r.SolvedFECs,
+			float64(r.PeakHeapBytes)/(1<<20),
+			r.ColdElapsed.Round(time.Millisecond), r.Identical, note)
 	}
 }
 

@@ -23,11 +23,18 @@ import (
 // Size selects one of the three evaluation scales.
 type Size int
 
-// The three network scales of §8 ("8%, 30%, and 80% of our WAN").
+// The three network scales of §8 ("8%, 30%, and 80% of our WAN"), plus
+// two extrapolated tiers (XLarge, Huge) past the paper's largest cut.
+// The extrapolated tiers exist for the sharded-verification scaling
+// study (FigShardCheck); generating them is cheap, but verifying them
+// monolithically is not — experiments gate them behind
+// JINJING_EXPERIMENTS_LARGE.
 const (
 	Small Size = iota
 	Medium
 	Large
+	XLarge
+	Huge
 )
 
 // String renders the scale name.
@@ -37,6 +44,10 @@ func (s Size) String() string {
 		return "small"
 	case Medium:
 		return "medium"
+	case XLarge:
+		return "xlarge"
+	case Huge:
+		return "huge"
 	default:
 		return "large"
 	}
@@ -55,6 +66,10 @@ func (s *Size) UnmarshalText(text []byte) error {
 		*s = Medium
 	case "large":
 		*s = Large
+	case "xlarge":
+		*s = XLarge
+	case "huge":
+		*s = Huge
 	default:
 		return fmt.Errorf("netgen: unknown size %q", text)
 	}
@@ -76,7 +91,10 @@ type Config struct {
 }
 
 // DefaultConfig returns the calibrated parameters for a scale. Widths
-// grow roughly 1 : 2.5 : 6, mirroring the paper's 8% / 30% / 80% cuts.
+// grow roughly 1 : 2.5 : 6 across the paper's 8% / 30% / 80% cuts;
+// xlarge and huge continue the progression (~2× and ~3.3× large's edge
+// count) with large's per-ACL rule density, so their cost growth is
+// purely topological.
 func DefaultConfig(size Size, seed int64) Config {
 	c := Config{Size: size, Seed: seed, AggsPerEdge: 2, ECMPCores: 2}
 	switch size {
@@ -90,6 +108,14 @@ func DefaultConfig(size Size, seed int64) Config {
 		c.RulesPerEdgeACL, c.RulesPerAggACL, c.RulesPerCoreACL = 14, 24, 32
 	case Large:
 		c.Cores, c.Aggs, c.Edges = 4, 12, 48
+		c.PrefixesPerEdge = 6
+		c.RulesPerEdgeACL, c.RulesPerAggACL, c.RulesPerCoreACL = 18, 32, 48
+	case XLarge:
+		c.Cores, c.Aggs, c.Edges = 6, 16, 96
+		c.PrefixesPerEdge = 6
+		c.RulesPerEdgeACL, c.RulesPerAggACL, c.RulesPerCoreACL = 18, 32, 48
+	case Huge:
+		c.Cores, c.Aggs, c.Edges = 8, 24, 160
 		c.PrefixesPerEdge = 6
 		c.RulesPerEdgeACL, c.RulesPerAggACL, c.RulesPerCoreACL = 18, 32, 48
 	}

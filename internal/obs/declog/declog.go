@@ -84,6 +84,12 @@ type Record struct {
 	WallNS     int64  `json:"wall_ns"`
 	CPUNS      int64  `json:"cpu_ns,omitempty"`
 	Error      string `json:"error,omitempty"`
+
+	// Memory story (sharded or forensics-enabled checks): the shard
+	// count the call ran with and its peak sampled live heap, so
+	// BENCH_shard's bounded-memory claims replay from the ledger alone.
+	Shards        int   `json:"shards,omitempty"`
+	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // Options configures a ledger file.

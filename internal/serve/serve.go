@@ -64,6 +64,13 @@ type Config struct {
 	// DecisionLogDir, when set, attaches a rotating JSONL decision
 	// ledger per session at <dir>/<session>.jsonl.
 	DecisionLogDir string
+	// SessionTTL releases a session's warm solver state (the encoder,
+	// persistent solvers, and pooled forks — core.Engine.ReleaseSession)
+	// after it has sat idle this long. The session itself stays loaded:
+	// its verdict cache, derived paths/FECs, and ledger survive, so the
+	// next job runs cold on the solver but still replays verdicts. 0
+	// disables idle eviction.
+	SessionTTL time.Duration
 }
 
 const defaultMaxInFlight = 8
@@ -89,6 +96,11 @@ type Server struct {
 	srv  *http.Server
 	lis  net.Listener
 	done chan struct{}
+
+	// reapStop ends the idle-session reaper; reapOnce makes Close
+	// idempotent about it.
+	reapStop chan struct{}
+	reapOnce sync.Once
 
 	// testGate, when set, is called inside the session critical section
 	// before a job executes — the test suite uses it to hold admission
@@ -127,7 +139,58 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	// Telemetry surface: /metrics, /healthz, /events (SSE), /debug/pprof/.
 	s.mux.Handle("/", s.stats.Handler())
+	if cfg.SessionTTL > 0 {
+		s.reapStop = make(chan struct{})
+		go s.reapLoop()
+	}
 	return s
+}
+
+// reapLoop periodically releases the warm solver state of sessions that
+// have idled past SessionTTL. It checks at a quarter of the TTL so a
+// session is reclaimed within ~1.25 TTLs of its last job.
+func (s *Server) reapLoop() {
+	interval := s.cfg.SessionTTL / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case now := <-t.C:
+			s.reapIdle(now)
+		}
+	}
+}
+
+// reapIdle runs one reaper pass. A session busy with a job is skipped
+// (TryLock), not waited on — its idle clock restarts when the job ends.
+func (s *Server) reapIdle(now time.Time) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		if !sess.warm.Load() || sess.idleSince(now) < s.cfg.SessionTTL {
+			continue
+		}
+		if !sess.mu.TryLock() {
+			continue
+		}
+		// Re-check under the lock: a job may have just finished and
+		// re-warmed the engine inside the window.
+		if sess.engine.SessionWarm() && sess.idleSince(now) >= s.cfg.SessionTTL {
+			sess.engine.ReleaseSession()
+			sess.warm.Store(false)
+			s.observer.Counter("daemon.sessions.idle_released").Inc()
+		}
+		sess.mu.Unlock()
+	}
 }
 
 // Handler returns the daemon's route table, for mounting under an
@@ -160,6 +223,9 @@ func (s *Server) Listen(addr string) (string, error) {
 // session). In-flight jobs holding a session lock finish first.
 func (s *Server) Close() error {
 	var err error
+	if s.reapStop != nil {
+		s.reapOnce.Do(func() { close(s.reapStop) })
+	}
 	if s.srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		err = s.srv.Shutdown(ctx)

@@ -51,7 +51,26 @@ type session struct {
 	createdAt  time.Time
 	jobs       atomic.Int64
 
+	// lastUsed (unix nanos) and warm track idle eviction: the TTL reaper
+	// releases the engine's solver state when a warm session sits idle
+	// past Config.SessionTTL. Both are atomics so info() and the reaper's
+	// pre-check stay lock-free — a session mid-job must not block GET.
+	lastUsed atomic.Int64
+	warm     atomic.Bool
+
 	devices, paths, fecs int
+}
+
+// touch stamps the session as just used and mirrors the engine's warm
+// state. Caller holds mu (the engine query is not concurrency-safe).
+func (s *session) touch(now time.Time) {
+	s.lastUsed.Store(now.UnixNano())
+	s.warm.Store(s.engine.SessionWarm())
+}
+
+// idleSince reports how long the session has been idle at now.
+func (s *session) idleSince(now time.Time) time.Duration {
+	return time.Duration(now.UnixNano() - s.lastUsed.Load())
 }
 
 // jobCaps are the server-wide ceilings clamped onto every job's
@@ -114,7 +133,8 @@ func newSession(name string, req *SessionRequest, o *obs.Observer, ledger *declo
 	s.engine = core.FromResolved(resolved, opts)
 	s.devices = len(base.Devices)
 	s.paths = len(s.engine.Paths())
-	s.fecs = len(s.engine.FECs())
+	s.fecs = s.engine.NumFECs()
+	s.touch(time.Now())
 	return s, nil
 }
 
@@ -129,6 +149,7 @@ func (s *session) info() SessionInfo {
 		Jobs:          s.jobs.Load(),
 		CacheVerdicts: s.cache.Size(),
 		DecisionLog:   s.ledgerPath,
+		Warm:          s.warm.Load(),
 	}
 }
 
@@ -142,6 +163,9 @@ func (s *session) closeLocked() {
 // strictly serialized, so the engine and verdict cache see a single
 // writer.
 func (s *session) runLocked(ctx context.Context, jobID, kind string, req *JobRequest, caps jobCaps) (any, *APIError) {
+	// Every job resets the idle clock and refreshes the warm flag, even
+	// on the error paths — a failed job still touched the engine.
+	defer s.touch(time.Now())
 	// Fault-injection hit-point for the daemon suite: a panic here
 	// simulates a crashed job handler (the server's recover answers 500
 	// and the deferred unlock keeps the session usable), a transient

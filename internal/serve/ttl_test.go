@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// getInfo fetches one session's GET snapshot.
+func getInfo(t *testing.T, ts *httptest.Server, name string) SessionInfo {
+	t.Helper()
+	status, data := do(t, http.MethodGet, ts.URL+"/v1/sessions/"+name, nil, nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET session: status %d, body %s", status, data)
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatalf("GET session body: %v", err)
+	}
+	return info
+}
+
+// TestDaemonSessionTTL exercises idle eviction end to end: a session
+// warms on its first job, the reaper releases the solver state after
+// the TTL, and the next job still runs correctly — cold on the solver
+// but replaying the surviving verdict cache.
+func TestDaemonSessionTTL(t *testing.T) {
+	srv, ts := newTestDaemon(t, Config{SessionTTL: 50 * time.Millisecond})
+	putSession(t, ts, "fig1", edit1)
+
+	// No job has run: nothing warm for the reaper to release.
+	if info := getInfo(t, ts, "fig1"); info.Warm {
+		t.Fatalf("fresh session reports warm: %+v", info)
+	}
+
+	status, r1, raw := postCheck(t, ts, "fig1", nil)
+	if status != http.StatusOK {
+		t.Fatalf("first check: status %d, body %s", status, raw)
+	}
+	if r1.Consistent {
+		t.Fatal("edit1 must be inconsistent")
+	}
+	info := getInfo(t, ts, "fig1")
+	if !info.Warm {
+		t.Fatalf("session not warm after a job: %+v", info)
+	}
+	if info.CacheVerdicts == 0 {
+		t.Fatalf("first check cached no verdicts: %+v", info)
+	}
+	cached := info.CacheVerdicts
+
+	// The reaper must release the idle session within a few TTLs.
+	deadline := time.Now().Add(5 * time.Second)
+	for getInfo(t, ts, "fig1").Warm {
+		if time.Now().After(deadline) {
+			t.Fatal("session still warm long past the TTL; reaper never released it")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := srv.observer.Counter("daemon.sessions.idle_released").Value(); n == 0 {
+		t.Fatal("daemon.sessions.idle_released not incremented")
+	}
+	if info := getInfo(t, ts, "fig1"); info.CacheVerdicts != cached {
+		t.Fatalf("idle release changed the verdict cache: %d != %d", info.CacheVerdicts, cached)
+	}
+
+	// The evicted session must still serve jobs — and the verdict cache
+	// must have survived the release: edit2 touches only C:1, so the
+	// A:1-only FEC verdicts replay even though the solver restarted cold.
+	status, r2, raw := postCheck(t, ts, "fig1", &JobRequest{Updated: marshalNet(t, editNet(t, edit2))})
+	if status != http.StatusOK {
+		t.Fatalf("post-eviction check: status %d, body %s", status, raw)
+	}
+	if r2.Consistent || !r2.Complete {
+		t.Fatalf("post-eviction check verdict wrong: %+v", r2)
+	}
+	if r2.Stats.FECCacheHits == 0 {
+		t.Fatalf("verdict cache did not survive idle release, stats %+v", r2.Stats)
+	}
+	if info := getInfo(t, ts, "fig1"); !info.Warm {
+		t.Fatalf("session not warm again after the post-eviction job: %+v", info)
+	}
+}

@@ -1,0 +1,172 @@
+package topo
+
+import "jinjing/internal/header"
+
+// FECSource is a streaming equivalent of ComputeFECs: it performs the
+// same grouping of atomized traffic classes by forwarding behavior
+// (Equation 2 specialized to destination-based forwarding), but stores
+// only index vectors into the shared paths/classes slices instead of
+// materialized FEC values. A scope with F FECs over C classes and P
+// paths costs O(C + Σ|paths per FEC|) int32s to index, while the
+// FEC values themselves are materialized one at a time (Materialize) or
+// one contiguous shard window at a time (Shards), bounding live memory
+// by the largest shard rather than the whole scope.
+//
+// The FEC order, per-FEC class order, and per-FEC path order are
+// identical to ComputeFECs: classes are scanned in order, groups appear
+// in first-seen order, and a group's paths are the forwarding subset of
+// the first member class (all members forward the same subset, by
+// construction). ComputeFECs keys groups on the joined Path.Key()
+// strings; grouping on path-index sequences is equivalent because the
+// structural path set never contains two distinct walks with the same
+// interface sequence (a path is its interface sequence). This
+// equivalence is pinned by TestFECSourceMatchesComputeFECs.
+type FECSource struct {
+	paths   []Path
+	classes []header.Prefix
+
+	classIdx [][]int32 // per FEC: ascending indices into classes
+	pathIdx  [][]int32 // per FEC: ascending indices into paths
+}
+
+// NewFECSource scans classes once and groups them into FECs by the set
+// of structural paths that forward them. Classes forwarded by no path
+// are dropped, exactly as in ComputeFECs.
+func NewFECSource(paths []Path, classes []header.Prefix) *FECSource {
+	s := &FECSource{paths: paths, classes: classes}
+	buckets := make(map[uint64][]int)
+	var fwd []int32
+	for ci, c := range classes {
+		fwd = fwd[:0]
+		for pi := range paths {
+			if paths[pi].ForwardsClass(c) {
+				fwd = append(fwd, int32(pi))
+			}
+		}
+		if len(fwd) == 0 {
+			continue
+		}
+		h := hashIdx(fwd)
+		gi := -1
+		for _, g := range buckets[h] {
+			if equalIdx(s.pathIdx[g], fwd) {
+				gi = g
+				break
+			}
+		}
+		if gi < 0 {
+			gi = len(s.pathIdx)
+			s.pathIdx = append(s.pathIdx, append([]int32(nil), fwd...))
+			s.classIdx = append(s.classIdx, nil)
+			buckets[h] = append(buckets[h], gi)
+		}
+		s.classIdx[gi] = append(s.classIdx[gi], int32(ci))
+	}
+	return s
+}
+
+// NumFECs returns the number of forwarding equivalence classes.
+func (s *FECSource) NumFECs() int { return len(s.pathIdx) }
+
+// Materialize builds FEC i with fresh Classes/Paths slices. The result
+// is value-identical to ComputeFECs(paths, classes)[i].
+func (s *FECSource) Materialize(i int) FEC {
+	f := FEC{
+		Classes: make([]header.Prefix, len(s.classIdx[i])),
+		Paths:   make([]Path, len(s.pathIdx[i])),
+	}
+	for k, ci := range s.classIdx[i] {
+		f.Classes[k] = s.classes[ci]
+	}
+	for k, pi := range s.pathIdx[i] {
+		f.Paths[k] = s.paths[pi]
+	}
+	return f
+}
+
+// PathIndices returns FEC i's path-index vector (indices into the paths
+// slice the source was built from). Callers must not mutate it.
+func (s *FECSource) PathIndices(i int) []int32 { return s.pathIdx[i] }
+
+// NumClasses returns the number of member classes of FEC i without
+// materializing it.
+func (s *FECSource) NumClasses(i int) int { return len(s.classIdx[i]) }
+
+// ShardRange is a half-open range [Lo, Hi) of FEC indices forming one
+// shard.
+type ShardRange struct {
+	Lo, Hi int
+}
+
+// Shards partitions the FEC index space into at most k contiguous
+// ranges, weight-balanced by per-FEC class+path counts (a proxy for
+// formula size). Because the engine's classes are sorted by destination
+// prefix and FECs appear in first-seen class order, contiguous FEC
+// ranges correspond to destination-prefix subtrees of the scope's
+// routable space — the partition axis named in §4.1's decomposition.
+// The partition is deterministic; fewer than k ranges are returned when
+// there are fewer FECs than shards.
+func (s *FECSource) Shards(k int) []ShardRange {
+	n := s.NumFECs()
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	var total int64
+	weights := make([]int64, n)
+	for i := range weights {
+		w := int64(len(s.classIdx[i]) + len(s.pathIdx[i]))
+		weights[i] = w
+		total += w
+	}
+	out := make([]ShardRange, 0, k)
+	lo := 0
+	var acc, spent int64
+	for i := 0; i < n; i++ {
+		acc += weights[i]
+		rem := k - len(out)
+		if rem <= 1 {
+			break
+		}
+		// Close the shard once it reaches an even split of the weight
+		// still unassigned — but keep at least one FEC per open shard,
+		// and close unconditionally once only that minimum remains.
+		full := acc >= (total-spent)/int64(rem) && n-(i+1) >= rem-1
+		if full || n-(i+1) == rem-1 {
+			out = append(out, ShardRange{Lo: lo, Hi: i + 1})
+			lo = i + 1
+			spent += acc
+			acc = 0
+		}
+	}
+	return append(out, ShardRange{Lo: lo, Hi: n})
+}
+
+// hashIdx is FNV-1a over the little-endian bytes of an index vector.
+func hashIdx(idx []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range idx {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(v >> s))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func equalIdx(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

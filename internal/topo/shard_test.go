@@ -1,0 +1,103 @@
+package topo_test
+
+import (
+	"reflect"
+	"testing"
+
+	"jinjing/internal/netgen"
+	"jinjing/internal/papernet"
+	"jinjing/internal/topo"
+)
+
+// TestFECSourceMatchesComputeFECs pins the streaming source to the
+// materializing implementation: same FEC count, order, member classes,
+// and paths on the paper network and generated WANs.
+func TestFECSourceMatchesComputeFECs(t *testing.T) {
+	type scene struct {
+		name  string
+		net   *topo.Network
+		scope *topo.Scope
+	}
+	var scenes []scene
+	scenes = append(scenes, scene{"papernet", papernet.Build(), papernet.Scope()})
+	for _, size := range []netgen.Size{netgen.Small, netgen.Medium} {
+		for seed := int64(1); seed <= 3; seed++ {
+			w := netgen.Build(netgen.DefaultConfig(size, seed))
+			scenes = append(scenes, scene{size.String(), w.Net, w.Scope})
+		}
+	}
+	for _, sc := range scenes {
+		paths := sc.net.AllPaths(sc.scope)
+		classes := sc.net.EnteringTraffic(sc.scope)
+		want := topo.ComputeFECs(paths, classes)
+		src := topo.NewFECSource(paths, classes)
+		if src.NumFECs() != len(want) {
+			t.Fatalf("%s: NumFECs = %d, ComputeFECs = %d", sc.name, src.NumFECs(), len(want))
+		}
+		for i := range want {
+			got := src.Materialize(i)
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Fatalf("%s: FEC %d differs:\n got %+v\nwant %+v", sc.name, i, got, want[i])
+			}
+			if src.NumClasses(i) != len(want[i].Classes) {
+				t.Fatalf("%s: FEC %d NumClasses = %d, want %d", sc.name, i, src.NumClasses(i), len(want[i].Classes))
+			}
+			if len(src.PathIndices(i)) != len(want[i].Paths) {
+				t.Fatalf("%s: FEC %d PathIndices = %d, want %d", sc.name, i, len(src.PathIndices(i)), len(want[i].Paths))
+			}
+		}
+	}
+}
+
+// TestFECSourceShards checks the partition invariants: ranges cover
+// [0, NumFECs) exactly once in order, respect the requested count, and
+// are deterministic.
+func TestFECSourceShards(t *testing.T) {
+	w := netgen.Build(netgen.DefaultConfig(netgen.Small, 7))
+	paths := w.Net.AllPaths(w.Scope)
+	classes := w.Net.EnteringTraffic(w.Scope)
+	src := topo.NewFECSource(paths, classes)
+	n := src.NumFECs()
+	if n == 0 {
+		t.Fatal("no FECs generated")
+	}
+	for _, k := range []int{1, 2, 3, 8, n, n + 5, 1000} {
+		shards := src.Shards(k)
+		if len(shards) == 0 || len(shards) > k || len(shards) > n {
+			t.Fatalf("Shards(%d) over %d FECs returned %d ranges", k, n, len(shards))
+		}
+		next := 0
+		for _, sr := range shards {
+			if sr.Lo != next || sr.Hi <= sr.Lo || sr.Hi > n {
+				t.Fatalf("Shards(%d): bad range %+v (next=%d, n=%d)", k, sr, next, n)
+			}
+			next = sr.Hi
+		}
+		if next != n {
+			t.Fatalf("Shards(%d): covered [0,%d), want [0,%d)", k, next, n)
+		}
+		again := src.Shards(k)
+		if !reflect.DeepEqual(shards, again) {
+			t.Fatalf("Shards(%d) not deterministic", k)
+		}
+	}
+	if got := src.Shards(0); len(got) != 1 || got[0] != (topo.ShardRange{Lo: 0, Hi: n}) {
+		t.Fatalf("Shards(0) = %+v, want one full range", got)
+	}
+	// When k == n every shard is a single FEC.
+	for i, sr := range src.Shards(n) {
+		if sr.Lo != i || sr.Hi != i+1 {
+			t.Fatalf("Shards(n)[%d] = %+v", i, sr)
+		}
+	}
+}
+
+func TestFECSourceEmpty(t *testing.T) {
+	src := topo.NewFECSource(nil, nil)
+	if src.NumFECs() != 0 {
+		t.Fatalf("NumFECs = %d", src.NumFECs())
+	}
+	if got := src.Shards(4); got != nil {
+		t.Fatalf("Shards on empty source = %+v", got)
+	}
+}
