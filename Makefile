@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full race fuzz fuzz-backends faults daemon-test lint bench bench-check bench-shard experiments examples vet fmt clean
+.PHONY: all build test test-full race fuzz fuzz-backends fuzz-snapshots faults daemon-test daemon-chaos lint bench bench-check bench-shard experiments examples vet fmt clean
 
 all: build vet test
 
@@ -45,19 +45,35 @@ fuzz-backends:
 	$(GO) test -count=1 -run TestFuzzBackendThreeWay ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzBackendAgreement -fuzztime 30s ./internal/core
 
+# Snapshot-codec lane: the committed corpus plus the structured
+# mutation sweep (flags, lengths, pair refs, checksum, truncation) and
+# 30 seconds of open-ended native fuzzing over Decode — every accepted
+# input must round-trip byte-identically through Encode.
+fuzz-snapshots:
+	$(GO) test -count=1 -run 'TestSnapshotRestoreMutationSweep|TestFuzzSnapshotEditSequences' ./internal/store ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotRestore -fuzztime 30s ./internal/store
+
 # Fault-injection lane: every TestFault* scenario (solver timeouts,
-# transient faults, worker panics, pool collapse, deadline cancellation)
-# under the race detector. The faultinject registry is process-global,
-# so these tests never run in parallel with each other.
+# transient faults, worker panics, pool collapse, deadline
+# cancellation, snapshot write/restore crashes) under the race
+# detector. The faultinject registry is process-global, so these tests
+# never run in parallel with each other.
 faults:
-	$(GO) test -race -short -count=1 -run 'TestFault' ./internal/core ./internal/faultinject ./internal/serve
+	$(GO) test -race -short -count=1 -run 'TestFault' ./internal/core ./internal/faultinject ./internal/store ./internal/serve
 
 # jinjingd daemon lane: the end-to-end warm-session suite (including
 # the warm-daemon vs cold-CLI byte-identity check, which builds the
 # jinjing binary — hence no -short), the concurrency/admission tests,
-# and the serve.job fault scenarios, all under the race detector.
+# the restart-recovery suite, and the serve.job fault scenarios, all
+# under the race detector.
 daemon-test:
 	$(GO) test -race -count=1 ./internal/serve ./internal/obs/serve
+
+# jinjingd chaos lane: crash-and-restart cycles under the race
+# detector — kill-during-snapshot, kill-during-drain, and repeated
+# crash/restore loops driven by the store fault-injection sites.
+daemon-chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/serve
 
 # Formatting + static checks; fails when any file needs gofmt.
 lint:

@@ -267,7 +267,10 @@ func OpenDecisionLog(path string, opts DecisionLogOptions) (*DecisionLogger, err
 }
 
 // ParseDecisionLog decodes the JSONL records of a ledger file's bytes.
-func ParseDecisionLog(data []byte) ([]DecisionRecord, error) { return declog.Parse(data) }
+// Damaged lines — a final line torn by a crash mid-append, or bit rot
+// anywhere — are skipped and counted in the second return rather than
+// failing the whole replay.
+func ParseDecisionLog(data []byte) ([]DecisionRecord, int) { return declog.Parse(data) }
 
 // Live telemetry over HTTP (see internal/obs/serve).
 type (

@@ -516,9 +516,9 @@ func TestCLITelemetryGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decision log not written: %v", err)
 	}
-	recs, err := jinjing.ParseDecisionLog(data)
-	if err != nil {
-		t.Fatalf("decision log does not parse: %v\n%s", err, data)
+	recs, skipped := jinjing.ParseDecisionLog(data)
+	if skipped != 0 {
+		t.Fatalf("decision log has %d damaged lines:\n%s", skipped, data)
 	}
 	// One record per primitive: the check, then the fix — the fix's
 	// internal verification checks must not add records of their own.

@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		large      = flag.Bool("large", false, "include the large network (minutes of runtime)")
-		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,inc,backend,shard,t5")
+		figures    = flag.String("figures", "4a,4b,4c,4d,t5", "comma-separated subset of 4a,4b,4c,4d,par,inc,backend,shard,snap,t5")
 		jsonPath   = flag.String("json", "", "also write the rows as JSON to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -151,6 +151,20 @@ func main() {
 		}
 		report.Shard = experiments.FigShardCheck(shardSizes, []int{1, 4, 16})
 		experiments.PrintShardRows(os.Stdout, report.Shard)
+		fmt.Println()
+	}
+	if want["snap"] {
+		// Like "inc", the snapshot figure skips the small network: both
+		// arms finish in microseconds there and timer granularity
+		// dominates the restore-vs-cold ratio.
+		snapSizes := make([]netgen.Size, 0, len(sizes))
+		for _, s := range sizes {
+			if s != netgen.Small {
+				snapSizes = append(snapSizes, s)
+			}
+		}
+		report.Snapshot = experiments.FigSnapshotRestore(snapSizes)
+		experiments.PrintSnapshotRows(os.Stdout, report.Snapshot)
 		fmt.Println()
 	}
 	if want["t5"] {

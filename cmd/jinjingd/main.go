@@ -8,6 +8,7 @@
 //	jinjingd [-listen :8080] [-max-inflight 8] [-decision-logs DIR]
 //	         [-quota-rate N] [-quota-burst N] [-session-ttl D]
 //	         [-max-deadline D] [-max-fec-budget N] [-max-workers N]
+//	         [-state-dir DIR] [-snapshot-interval D] [-drain-timeout D]
 //
 // Walkthrough (see README "Running jinjingd" for full bodies):
 //
@@ -42,6 +43,9 @@ func main() {
 		maxWorkers   = flag.Int("max-workers", 0, "ceiling on per-job worker counts (0 = uncapped)")
 		declogDir    = flag.String("decision-logs", "", "directory for per-session decision ledgers (<dir>/<session>.jsonl)")
 		sessionTTL   = flag.Duration("session-ttl", 0, "release a session's warm solver state after this much idle time; the session and its verdict cache stay loaded (0 disables)")
+		stateDir     = flag.String("state-dir", "", "directory for durable session state: manifests and verdict-cache snapshots survive restarts (empty disables)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "cadence of the periodic verdict-cache snapshot pass when -state-dir is set (0 = 30s default, negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "how long shutdown waits for in-flight jobs before closing (0 = 10s default, negative skips the wait)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -57,28 +61,44 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		MaxInFlight:     *maxInFlight,
-		Quota:           serve.Quota{Rate: *quotaRate, Burst: *quotaBurst},
-		MaxDeadline:     *maxDeadline,
-		MaxPerFECBudget: *maxFECBudget,
-		MaxWorkers:      *maxWorkers,
-		DecisionLogDir:  *declogDir,
-		SessionTTL:      *sessionTTL,
+		MaxInFlight:      *maxInFlight,
+		Quota:            serve.Quota{Rate: *quotaRate, Burst: *quotaBurst},
+		MaxDeadline:      *maxDeadline,
+		MaxPerFECBudget:  *maxFECBudget,
+		MaxWorkers:       *maxWorkers,
+		DecisionLogDir:   *declogDir,
+		SessionTTL:       *sessionTTL,
+		StateDir:         *stateDir,
+		SnapshotInterval: *snapInterval,
+		DrainTimeout:     *drainTimeout,
 	})
+	// Install the handler before announcing the address: a supervisor
+	// that SIGTERMs the moment it sees "serving on" must hit the drain
+	// path, not the default disposition.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jinjingd: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "jinjingd: serving on %s\n", addr)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "jinjingd: shutting down")
+	fmt.Fprintln(os.Stderr, "jinjingd: draining for shutdown (signal again to force exit)")
 	start := time.Now()
-	if err := srv.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "jinjingd: shutdown: %v\n", err)
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jinjingd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		// A second signal aborts the drain: the operator wants out now.
+		// Durable sessions fall back on their last committed snapshot.
+		fmt.Fprintln(os.Stderr, "jinjingd: second signal, forcing exit")
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "jinjingd: stopped after %v drain\n", time.Since(start).Round(time.Millisecond))

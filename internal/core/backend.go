@@ -561,6 +561,96 @@ func (e *Engine) psetWitnessFEC(ctx *checkCtx, fec topo.FEC) (Violation, bool) {
 	return Violation{}, false
 }
 
+// replayWitness validates a snapshot-restored witness packet for FEC i
+// by concrete evaluation, returning the full canonical Violation when
+// the packet is a genuine counterexample: it must lie in the FEC's
+// class region and flip at least one path's desired-vs-after decision.
+// The flipped-path list is re-derived (never read from the snapshot),
+// and for an untampered snapshot it coincides with both cold
+// derivations — psetWitnessFEC's pathFlips scan and witnessFEC's
+// per-path model evaluation decide the same concrete predicate — so
+// replayed violations stay byte-identical to a cold run.
+func (e *Engine) replayWitness(ctx *checkCtx, i int, pkt header.Packet) (Violation, bool) {
+	fec := ctx.fec(i)
+	in := false
+	for _, c := range fec.Classes {
+		if c.Matches(pkt.DstIP) {
+			in = true
+			break
+		}
+	}
+	if !in {
+		return Violation{}, false
+	}
+	v := Violation{Packet: pkt, Classes: fec.Classes}
+	// A FEC's paths share hops, so the same binding's ACL pair decides
+	// the packet on many paths; memoize each binding's (before, after)
+	// decision for this packet across the flip scan.
+	memo := make(map[topo.ACLBinding]int8, 4*len(fec.Paths))
+	for _, p := range fec.Paths {
+		if e.pathFlipsDesired(ctx, memo, p, pkt) {
+			v.Paths = append(v.Paths, p)
+		}
+	}
+	if len(v.Paths) == 0 {
+		return Violation{}, false
+	}
+	return v, true
+}
+
+// pathFlipsDesired is pathFlips generalized to control intents: the
+// desired decision is the before conjunction rewritten by the first
+// (highest-priority) applicable control whose match covers the packet —
+// the concrete evaluation of desiredFormula's Ite chain.
+func (e *Engine) pathFlipsDesired(ctx *checkCtx, memo map[topo.ACLBinding]int8, p topo.Path, pkt header.Packet) bool {
+	// memo bits: 1 = before permits, 2 = after permits, 4 = resolved.
+	decide := func(b topo.ACLBinding) int8 {
+		d, ok := memo[b]
+		if !ok {
+			d = 4 | 1 | 2 // unbound in both snapshots: permit-all either way
+			if pr, bound := ctx.encodeACLs[b.ID()]; bound {
+				d = 4
+				if pr[0].Permits(pkt) {
+					d |= 1
+				}
+				if pr[1].Permits(pkt) {
+					d |= 2
+				}
+			}
+			memo[b] = d
+		}
+		return d
+	}
+	before, after := true, true
+	for _, h := range p.Hops {
+		for _, b := range [2]topo.ACLBinding{{Iface: h.In, Dir: topo.In}, {Iface: h.Out, Dir: topo.Out}} {
+			d := decide(b)
+			if d&1 == 0 {
+				before = false
+			}
+			if d&2 == 0 {
+				after = false
+			}
+		}
+	}
+	desired := before
+	for _, c := range e.Controls {
+		if !c.AppliesTo(p) || !c.Match.Matches(pkt) {
+			continue
+		}
+		switch c.Mode {
+		case Isolate:
+			desired = false
+		case Open:
+			desired = true
+		case Maintain:
+			desired = before
+		}
+		break
+	}
+	return desired != after
+}
+
 // pathFlips reports whether the path decides pkt differently across the
 // update, by direct rule-list evaluation: in the control-free case the
 // desired decision is the before-snapshot conjunction, so a flip is a

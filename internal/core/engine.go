@@ -225,6 +225,22 @@ type Engine struct {
 	// shared with derived verification engines and survives UpdateAfter.
 	depIdx map[string][]int
 
+	// slotIdx is the lazily built binding-slot interning behind fecKey:
+	// a dense index per on-path binding ID plus, per FEC, the index of
+	// each of its key slots in path order — so key derivation is slice
+	// indexing instead of per-slot string building and map hashing.
+	// Before-derived, shared with derived engines, unavailable (nil)
+	// under sharded streaming.
+	slotIdx *slotIndex
+
+	// snapDigest memoizes verdictSnapshotDigest for snapDigestN FECs:
+	// the digest hashes the engine's full path set, and a snapshotting
+	// daemon recomputes it on every periodic Export. Engine-lifetime
+	// state like paths/fecs (everything it digests is Before-derived
+	// and fixed at construction).
+	snapDigest  string
+	snapDigestN int
+
 	// ckctx caches the check pipeline's per-generation state (one
 	// Before/After pair): differential rules, encoded pairs, per-FEC
 	// resolution. Invalidated by UpdateAfter; see checkCtx.
@@ -283,7 +299,8 @@ func (e *Engine) derived(after *topo.Network, parent *obs.Span) *Engine {
 		Before: e.Before, After: after, Scope: e.Scope,
 		Controls: e.Controls, Opts: opts, parentSpan: parent,
 		paths: e.paths, classes: e.classes, fecs: e.fecs,
-		fecSrc: e.fecSrc, depIdx: e.depIdx, sess: e.sess,
+		fecSrc: e.fecSrc, depIdx: e.depIdx, slotIdx: e.slotIdx,
+		sess: e.sess,
 	}
 }
 
@@ -321,6 +338,13 @@ func (e *Engine) Classes() []header.Prefix {
 func (e *Engine) FECs() []topo.FEC {
 	if e.fecs == nil {
 		e.fecs = topo.ComputeFECs(e.Paths(), e.Classes())
+		if !e.sharded() && e.Opts.Verdicts != nil {
+			// Derive the binding slot index alongside the FEC structure it
+			// mirrors: both are fixed for the engine's lifetime, and doing
+			// it here keeps the first cache-addressed check — notably the
+			// first check after a snapshot restore — off the hook.
+			e.fecSlotIndex()
+		}
 	}
 	return e.fecs
 }

@@ -377,7 +377,7 @@ func (e *Engine) fixFEC(cn *canceller, ctx *checkCtx, i int, consBase *constancy
 	default:
 		var ent *fecVerdict
 		if ctx.vc != nil {
-			key = ctx.fecKey(fec)
+			key = ctx.fecKey(i, fec)
 			ent = ctx.vc.lookup(i, key)
 		}
 		switch {
@@ -410,7 +410,7 @@ func (e *Engine) fixFEC(cn *canceller, ctx *checkCtx, i int, consBase *constancy
 		// a first-Solve UNSAT means a consistent solver verdict.
 		out.cache.FECCacheMisses = 1
 		if key == nil {
-			key = ctx.fecKey(fec)
+			key = ctx.fecKey(i, fec)
 		}
 		ctx.vc.insert(i, &fecVerdict{key: key, hadJob: out.iters > 0, violating: len(out.entries) > 0})
 	}

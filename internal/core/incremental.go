@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"jinjing/internal/acl"
+	"jinjing/internal/header"
 	"jinjing/internal/obs"
 	"jinjing/internal/sat"
 	"jinjing/internal/smt"
@@ -116,13 +117,18 @@ func recordCacheStats(o *obs.Observer, s CacheStats) {
 // fecVerdict is one cached verdict: the FEC's content key, whether its
 // Equation-3 query needed a solver verdict (hadJob) and how it came out
 // (violating), plus the lazily memoized canonical counterexample for
-// violating entries. Entries are immutable except wit, which is
-// backfilled under the cache mutex.
+// violating entries. witPkt is a witness packet restored from a
+// snapshot but not yet validated: witnessFor replays it only after
+// re-deriving the flipped-path set concretely (and drops it if the
+// packet is not a genuine counterexample), so stored bytes are never
+// trusted for correctness. Entries are immutable except wit/witPkt,
+// which are updated under the cache mutex.
 type fecVerdict struct {
 	key       []uint64
 	hadJob    bool
 	violating bool
 	wit       *Violation
+	witPkt    *header.Packet
 }
 
 // VerdictCache caches per-FEC check verdicts across engines and After
@@ -152,6 +158,16 @@ type VerdictCache struct {
 	// replays its previous entry without even hashing its key.
 	lastPairs map[string][2]uint64
 	lastGen   []*fecVerdict
+
+	// pairTab/pairIdx intern the (before, after) ACL fingerprint pairs
+	// that key words reference: a key holds one word per binding slot,
+	// 0 for an unbound slot or w for pairTab[w-1]. The table is append-
+	// only for the cache's lifetime (bind resets drop entries, never
+	// references), so equal refs always mean equal pairs and equal keys
+	// mean equal fingerprint tuples — at a third of the words the
+	// inline-pair form took.
+	pairTab [][2]uint64
+	pairIdx map[[2]uint64]uint64
 }
 
 // NewVerdictCache returns an empty cache. Share one across the engines
@@ -202,6 +218,22 @@ func (vc *VerdictCache) bind(e *Engine, nfec int) {
 	vc.lastPairs, vc.lastGen = nil, nil
 }
 
+// internPairLocked returns the stable key reference (table index + 1)
+// for a fingerprint pair, assigning the next index on first sight.
+// Caller holds vc.mu.
+func (vc *VerdictCache) internPairLocked(pair [2]uint64) uint64 {
+	if ref, ok := vc.pairIdx[pair]; ok {
+		return ref
+	}
+	if vc.pairIdx == nil {
+		vc.pairIdx = map[[2]uint64]uint64{}
+	}
+	vc.pairTab = append(vc.pairTab, pair)
+	ref := uint64(len(vc.pairTab))
+	vc.pairIdx[pair] = ref
+	return ref
+}
+
 // hashKey is FNV-1a over the key words.
 func hashKey(key []uint64) uint64 {
 	const (
@@ -248,6 +280,11 @@ func (vc *VerdictCache) lookup(i int, key []uint64) *fecVerdict {
 func (vc *VerdictCache) insert(i int, ent *fecVerdict) {
 	vc.mu.Lock()
 	defer vc.mu.Unlock()
+	vc.insertLocked(i, ent)
+}
+
+// insertLocked is insert with vc.mu already held (Import shares it).
+func (vc *VerdictCache) insertLocked(i int, ent *fecVerdict) {
 	if i >= len(vc.byFEC) {
 		return
 	}
@@ -296,6 +333,25 @@ func (vc *VerdictCache) memoWitness(ent *fecVerdict, v *Violation) {
 	if ent.wit == nil {
 		ent.wit = v
 	}
+}
+
+// witnessPacket returns the entry's restored-but-unvalidated witness
+// packet (nil when none), cleared once a memoized witness exists.
+func (vc *VerdictCache) witnessPacket(ent *fecVerdict) *header.Packet {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if ent.wit != nil {
+		return nil
+	}
+	return ent.witPkt
+}
+
+// dropWitnessPacket discards a restored witness packet that failed
+// concrete validation, so later calls go straight to re-derivation.
+func (vc *VerdictCache) dropWitnessPacket(ent *fecVerdict) {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	ent.witPkt = nil
 }
 
 // depIndex maps each binding ID to the (deduplicated, ascending) FEC
@@ -374,6 +430,36 @@ func (e *Engine) prepareIncremental(ctx *checkCtx) {
 	vc.bind(e, n)
 	ctx.vc = vc
 
+	// Resolve this generation's pair fingerprints to their stable cache
+	// references in one locked batch (a few hundred pairs, not one lock
+	// per slot), then project the references onto the interned binding
+	// slots so fecKey derives keys by slice indexing instead of per-slot
+	// string building and map hashing.
+	vc.mu.Lock()
+	ctx.pairRefs = make(map[string]uint64, len(ctx.pairFPs))
+	for id, fp := range ctx.pairFPs {
+		ctx.pairRefs[id] = vc.internPairLocked(fp)
+	}
+	vc.mu.Unlock()
+	if si := e.fecSlotIndex(); si != nil {
+		ctx.slots = si.slots
+		ctx.fpRef = make([]uint64, si.n)
+		for id, ref := range ctx.pairRefs {
+			if j, ok := si.ids[id]; ok {
+				ctx.fpRef[j] = ref
+			}
+		}
+		// Size one shared arena for every FEC's key (one word per slot,
+		// fixed for the generation): per-FEC key allocations otherwise
+		// dominate a fully-cached check.
+		off := make([]int, n+1)
+		for i, sl := range ctx.slots {
+			off[i+1] = off[i] + len(sl)
+		}
+		ctx.keyOff = off
+		ctx.keyArena = make([]uint64, off[n])
+	}
+
 	vc.mu.Lock()
 	lastPairs, lastGen := vc.lastPairs, vc.lastGen
 	vc.mu.Unlock()
@@ -412,21 +498,86 @@ func (e *Engine) prepareIncremental(ctx *checkCtx) {
 	ctx.lastGen = lastGen
 }
 
-// fecKey is the FEC's content address: the ordered tuple of encoded
-// before/after ACL fingerprints along its paths, with a presence
-// marker per binding slot (the slot structure is fixed by the FEC's
-// Before-derived paths, so every key vector parses unambiguously).
-// Equal keys mean the check pipeline encodes identical formulas for
-// this FEC — same verdict, same canonical counterexample.
-func (ctx *checkCtx) fecKey(fec topo.FEC) []uint64 {
+// slotIndex interns fecKey's binding slots: ids assigns every on-path
+// binding ID a dense index, and slots[i] lists FEC i's key slots (in
+// fecKey's path order) as indices into ids. Before-derived and
+// immutable once built, so it is shared across generations and with
+// derived verification engines.
+type slotIndex struct {
+	ids   map[string]int32
+	n     int32
+	slots [][]int32
+}
+
+// fecSlotIndex builds (once) the engine's binding-slot interning, or
+// returns nil when the FEC set is not materialized (sharded streaming),
+// in which case fecKey falls back to per-slot string lookups. Called
+// only from the single-goroutine resolve setup (prepareIncremental),
+// like depIndex.
+func (e *Engine) fecSlotIndex() *slotIndex {
+	if e.slotIdx != nil {
+		return e.slotIdx
+	}
+	if e.sharded() {
+		return nil
+	}
+	fecs := e.FECs()
+	si := &slotIndex{ids: map[string]int32{}, slots: make([][]int32, len(fecs))}
+	// Intern by binding identity (interface pointer + direction) so the
+	// ID string is built once per unique binding, not once per slot —
+	// paths share *Interface values, and building per-slot ID strings
+	// would cost as much as the string-keyed fecKey this index replaces.
+	byBind := map[topo.ACLBinding]int32{}
+	for i, fec := range fecs {
+		var sl []int32
+		for _, p := range fec.Paths {
+			for _, h := range p.Hops {
+				for _, b := range [2]topo.ACLBinding{{Iface: h.In, Dir: topo.In}, {Iface: h.Out, Dir: topo.Out}} {
+					j, ok := byBind[b]
+					if !ok {
+						j = si.n
+						byBind[b] = j
+						si.ids[b.ID()] = j
+						si.n++
+					}
+					sl = append(sl, j)
+				}
+			}
+		}
+		si.slots[i] = sl
+	}
+	e.slotIdx = si
+	return si
+}
+
+// fecKey is the FEC's content address: one word per binding slot along
+// its paths — 0 for an unbound slot, or the cache's stable reference
+// for the slot's encoded (before, after) ACL fingerprint pair (see
+// internPairLocked; the slot structure is fixed by the FEC's
+// Before-derived paths). Equal keys mean the check pipeline encodes
+// identical formulas for this FEC — same verdict, same canonical
+// counterexample.
+func (ctx *checkCtx) fecKey(i int, fec topo.FEC) []uint64 {
+	if ctx.slots != nil {
+		// Fill FEC i's region of the generation's shared key arena. The
+		// region is written only by the goroutine resolving FEC i (the
+		// same per-FEC ownership discipline as ctx.states[i]); repeated
+		// calls rewrite identical content. Callers that retain the key
+		// beyond the generation (cache inserts) must copy it — see
+		// ownKey — or the whole arena stays reachable.
+		sl := ctx.slots[i]
+		lo, hi := ctx.keyOff[i], ctx.keyOff[i+1]
+		key := ctx.keyArena[lo:lo:hi]
+		for _, s := range sl {
+			key = append(key, ctx.fpRef[s])
+		}
+		return key
+	}
 	var key []uint64
 	for _, p := range fec.Paths {
 		for _, b := range p.Bindings() {
-			if fp, ok := ctx.pairFPs[b.ID()]; ok {
-				key = append(key, 1, fp[0], fp[1])
-			} else {
-				key = append(key, 0)
-			}
+			// Missing bindings read as 0: unbound slot.
+			key = append(key, ctx.pairRefs[b.ID()])
 		}
 	}
 	return key
@@ -527,7 +678,7 @@ func (e *Engine) resolveFEC(ctx *checkCtx, i int) fecState {
 		if ctx.affected != nil && !ctx.affected[i] && ctx.lastGen != nil && i < len(ctx.lastGen) && ctx.lastGen[i] != nil {
 			return ctx.adopt(i, ctx.lastGen[i], routeImpact)
 		}
-		key = ctx.fecKey(fec)
+		key = ctx.fecKey(i, fec)
 		if ent := ctx.vc.lookup(i, key); ent != nil {
 			return ctx.adopt(i, ent, routeCache)
 		}
@@ -610,12 +761,23 @@ func (ctx *checkCtx) adopt(i int, ent *fecVerdict, route fecRoute) fecState {
 	return st
 }
 
+// ownKey returns a key safe to retain beyond this generation: arena-
+// backed keys (see fecKey) are copied so a cached entry doesn't pin the
+// whole generation's arena; slow-path keys are per-key allocations
+// already and pass through. Only cache-miss inserts pay the copy.
+func (ctx *checkCtx) ownKey(key []uint64) []uint64 {
+	if ctx.keyArena == nil || len(key) == 0 {
+		return key
+	}
+	return append([]uint64(nil), key...)
+}
+
 // discharge records FEC i as provably consistent without a solver
 // verdict, caching the outcome under its content key.
 func (ctx *checkCtx) discharge(i int, key []uint64) {
 	ctx.states[i] = fecDischarged
 	if ctx.vc != nil {
-		ent := &fecVerdict{key: key, hadJob: false}
+		ent := &fecVerdict{key: ctx.ownKey(key), hadJob: false}
 		ctx.entries[i] = ent
 		ctx.vc.insert(i, ent)
 	}
@@ -644,7 +806,7 @@ func (ctx *checkCtx) finishVerdict(i int, key []uint64, violating bool) {
 		ctx.states[i] = fecOK
 	}
 	if ctx.vc != nil {
-		ent := &fecVerdict{key: key, hadJob: true, violating: violating}
+		ent := &fecVerdict{key: ctx.ownKey(key), hadJob: true, violating: violating}
 		ctx.entries[i] = ent
 		ctx.vc.insert(i, ent)
 	}
@@ -684,6 +846,20 @@ func (e *Engine) witnessFor(ctx *checkCtx, i int, res *CheckResult, o *obs.Obser
 		if w := ctx.vc.witness(ent); w != nil {
 			ctx.wit[i] = w
 			return *w, true
+		}
+		// A snapshot-restored witness packet replays only after concrete
+		// validation: the flipped-path set is re-derived by direct
+		// rule-list evaluation, and a packet that flips nothing (damage,
+		// tampering) is dropped and the witness re-derived from scratch —
+		// stored bytes are never trusted for correctness.
+		if pkt := ctx.vc.witnessPacket(ent); pkt != nil {
+			if v, ok := e.replayWitness(ctx, i, *pkt); ok {
+				w := &v
+				ctx.wit[i] = w
+				ctx.vc.memoWitness(ent, w)
+				return v, true
+			}
+			ctx.vc.dropWitnessPacket(ent)
 		}
 	}
 	// The set-algebra witness is attempted first for every violating FEC

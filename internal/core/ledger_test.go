@@ -120,7 +120,7 @@ func TestLedgerCheckGolden(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := declog.ReadFile(path)
+	recs, _, err := declog.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestLedgerCheckGolden(t *testing.T) {
 		opts.DecisionLog = l
 		res = core.New(before, after, scope, opts).Check()
 		l.Close()
-		recs, err = declog.ReadFile(path)
+		recs, _, err = declog.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +210,7 @@ func TestLedgerFuzzReplay(t *testing.T) {
 		if err := l.Close(); err != nil {
 			t.Fatal(err)
 		}
-		recs, err := declog.ReadFile(path)
+		recs, _, err := declog.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -279,7 +279,7 @@ func TestLedgerFixSingleRecord(t *testing.T) {
 			t.Fatal(err)
 		}
 		l.Close()
-		recs, err := declog.ReadFile(path)
+		recs, _, err := declog.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
 		}

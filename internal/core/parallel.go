@@ -52,9 +52,23 @@ type checkCtx struct {
 	diff       []acl.Rule
 	encodeACLs map[string][2]*acl.ACL // binding ID -> {before, after}
 	pairFPs    map[string][2]uint64   // binding ID -> encoded pair fingerprints
-	fastPath   bool
-	diffRules  int
-	aclPairs   int
+	// slots is the interned fast path of fecKey (see slotIndex),
+	// aliasing the engine's per-FEC slot lists. Built by
+	// prepareIncremental, read-only after.
+	slots [][]int32
+	// pairRefs resolves a binding ID to its stable cache pair reference
+	// for this generation (0 / absent = unbound); fpRef is the same
+	// projection onto the dense slot indices for the interned fast path.
+	pairRefs map[string]uint64
+	fpRef    []uint64
+	// keyOff/keyArena back fecKey's fast path with one shared buffer:
+	// FEC i's key occupies keyArena[keyOff[i]:keyOff[i+1]], written only
+	// by the goroutine resolving FEC i.
+	keyOff    []int
+	keyArena  []uint64
+	fastPath  bool
+	diffRules int
+	aclPairs  int
 
 	// Exactly one of fecs/src is set: fecs is the full materialization
 	// (unsharded engines), src the streaming index (sharded engines).

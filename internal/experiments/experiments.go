@@ -35,6 +35,7 @@ import (
 	"jinjing/internal/netgen"
 	"jinjing/internal/obs"
 	"jinjing/internal/sat"
+	"jinjing/internal/store"
 	"jinjing/internal/topo"
 )
 
@@ -682,6 +683,173 @@ func FigIncrementalCheck(sizes []netgen.Size) []IncrementalRow {
 	return rows
 }
 
+// SnapshotRow is one snapshot-restore measurement: the daemon-restart
+// scenario, timed. A warm session (primed on the base update, then
+// re-checked after a single-ACL edit) is snapshotted to disk through
+// internal/store; the "restore" arm then replays a restarted daemon's
+// first re-check — read + decode + import + check on a freshly built
+// engine — against a cold engine's check over the same inputs. Engine
+// construction and path/FEC derivation are untimed in both arms (a
+// restarted daemon pays them either way); the row isolates what
+// durability buys: verdict replay instead of re-solving.
+type SnapshotRow struct {
+	Size       netgen.Size `json:"size"`
+	PerturbPct float64     `json:"perturb_pct"`
+	Iterations int         `json:"iterations"`
+	FECs       int         `json:"fecs"`
+	Consistent bool        `json:"consistent"`
+	// Entries/Bytes size the persisted artifact.
+	Entries       int `json:"snapshot_entries"`
+	SnapshotBytes int `json:"snapshot_bytes"`
+	// SnapshotElapsed is the median cost of one full snapshot pass
+	// (export + encode + atomic write) — the daemon's periodic
+	// per-session overhead.
+	SnapshotElapsed time.Duration `json:"snapshot_elapsed_ns"`
+	// RestoreElapsed is the median read + decode + import + warm check;
+	// ColdElapsed the median cold check on the same inputs.
+	RestoreElapsed time.Duration `json:"restore_elapsed_ns"`
+	ColdElapsed    time.Duration `json:"cold_elapsed_ns"`
+	// CacheHits counts the last restored check's replayed verdicts —
+	// zero would mean the snapshot was dead weight.
+	CacheHits int64   `json:"fec_cache_hits"`
+	Speedup   float64 `json:"speedup"` // cold / restore
+	// Identical records that every restored result matched its cold
+	// twin (verdict, violation packets, and paths).
+	Identical bool `json:"identical"`
+}
+
+// FigSnapshotRestore measures the durable-warm-state path on the
+// operator workload of FigIncrementalCheck: base update primed, one
+// single-ACL edge-up edit re-checked warm, cache snapshotted to disk.
+// Each iteration interleaves a cold check (fresh cacheless engine,
+// prewarmed preprocessing, as in Fig. 4a) with a full restore (fresh
+// engine + store.Read + ImportVerdicts + check) so machine drift lands
+// on both arms and the medians form paired samples.
+func FigSnapshotRestore(sizes []netgen.Size) []SnapshotRow {
+	const pct = 5
+	var rows []SnapshotRow
+	for _, size := range sizes {
+		w := GetWAN(size)
+		after := w.Perturb(Seed+int64(pct*10), pct)
+		pool := w.AllPrefixes()
+
+		mkOpts := func() core.Options {
+			o := defaultOptions()
+			o.UseDifferential = false
+			o.UseTournament = true
+			o.FindAllViolations = true
+			return o
+		}
+
+		// The warm session: prime on the base update, then one edge-up
+		// single-ACL edit (the localized-edit regime the cache targets).
+		bindings, err := netgen.Bindings(after, []string{w.EdgeNames[0] + ":u0:in"})
+		if err != nil {
+			panic(err)
+		}
+		edited := after.Clone()
+		iface, err := edited.LookupInterface(bindings[0].Iface.ID())
+		if err != nil {
+			panic(err)
+		}
+		a := iface.ACL(bindings[0].Dir)
+		if a == nil {
+			a = acl.PermitAll()
+		}
+		deny := acl.Rule{Action: acl.Deny, Match: header.DstMatch(pool[0])}
+		a.Rules = append([]acl.Rule{deny}, a.Rules...)
+		iface.SetACL(bindings[0].Dir, a)
+
+		warmOpts := mkOpts()
+		warmOpts.Verdicts = core.NewVerdictCache()
+		warm := core.New(w.Net, after, w.Scope, warmOpts)
+		warm.FECs()
+		warm.Check()
+		warm.UpdateAfter(edited)
+		warm.Check()
+
+		snap := warm.ExportVerdicts()
+		if snap == nil {
+			panic("experiments: nothing to snapshot from a checked engine")
+		}
+		dir, err := os.MkdirTemp("", "jinjing-snap-bench-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		path := dir + "/cache.snap"
+
+		var (
+			snapDurs, restoreDurs, coldDurs []time.Duration
+			coldRes, restoredRes            *core.CheckResult
+			identical                       = true
+			hits                            int64
+		)
+		for i := 0; i < parallelSteadyCalls; i++ {
+			// Snapshot pass: export + encode + atomic write.
+			t0 := time.Now()
+			if err := store.Write(path, warm.ExportVerdicts()); err != nil {
+				panic(err)
+			}
+			snapDurs = append(snapDurs, time.Since(t0))
+
+			// Cold arm: the restarted daemon's first check with no snapshot
+			// to restore — a verdict cache is installed (jinjingd always
+			// runs with one; it feeds the next snapshot) but starts empty.
+			coldOpts := mkOpts()
+			coldOpts.Verdicts = core.NewVerdictCache()
+			cold := core.New(w.Net, edited, w.Scope, coldOpts)
+			cold.FECs()
+			t0 = time.Now()
+			coldRes = cold.Check()
+			coldDurs = append(coldDurs, time.Since(t0))
+
+			// Restore arm: the restarted daemon's first re-check.
+			resOpts := mkOpts()
+			resOpts.Verdicts = core.NewVerdictCache()
+			restored := core.New(w.Net, edited, w.Scope, resOpts)
+			restored.FECs()
+			t0 = time.Now()
+			loaded, err := store.Read(path)
+			if err != nil {
+				panic(err)
+			}
+			if err := restored.ImportVerdicts(loaded); err != nil {
+				panic(err)
+			}
+			restoredRes = restored.Check()
+			restoreDurs = append(restoreDurs, time.Since(t0))
+
+			if resultSignature(restoredRes) != resultSignature(coldRes) {
+				identical = false
+			}
+			hits = restoredRes.Stats.FECCacheHits
+		}
+
+		median := func(ds []time.Duration) time.Duration {
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			return ds[len(ds)/2]
+		}
+		encoded := store.Encode(snap)
+		row := SnapshotRow{
+			Size: size, PerturbPct: pct,
+			Iterations: parallelSteadyCalls,
+			FECs:       restoredRes.FECs, Consistent: restoredRes.Consistent,
+			Entries: snap.NumEntries(), SnapshotBytes: len(encoded),
+			SnapshotElapsed: median(snapDurs),
+			RestoreElapsed:  median(restoreDurs),
+			ColdElapsed:     median(coldDurs),
+			CacheHits:       hits,
+			Identical:       identical,
+		}
+		if row.RestoreElapsed > 0 {
+			row.Speedup = float64(row.ColdElapsed) / float64(row.RestoreElapsed)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
 // BackendRow is one backend-selection measurement: the same workload
 // verified with the backend forced to SAT and with auto-selection (pset
 // where the per-FEC heuristic allows, SAT elsewhere). Cold and warm
@@ -1081,8 +1249,12 @@ type BenchReport struct {
 	Backend []BackendRow `json:"backend,omitempty"`
 	// Shard is the shard-and-stream scaling figure (BENCH_shard.json
 	// when run with -figures shard).
-	Shard  []ShardRow  `json:"shard,omitempty"`
-	Table5 []Table5Row `json:"table5,omitempty"`
+	Shard []ShardRow `json:"shard,omitempty"`
+	// Snapshot is the durable verdict-cache restore-vs-cold figure
+	// (the snapshot_restore section of BENCH_robustness.json when run
+	// with -figures snap).
+	Snapshot []SnapshotRow `json:"snapshot,omitempty"`
+	Table5   []Table5Row   `json:"table5,omitempty"`
 	// Metrics is the final metrics snapshot of the run's shared Observer
 	// (set by cmd/jinjing-experiments so -json output carries the same
 	// registry dump `jinjing -metrics` prints).
@@ -1165,6 +1337,21 @@ func PrintIncrementalRows(w io.Writer, rows []IncrementalRow) {
 			r.CacheHits, r.CacheMisses, r.Prefiltered, 100*r.HitRate,
 			r.ColdElapsed.Round(time.Millisecond),
 			r.WarmElapsed.Round(100*time.Microsecond), r.Speedup, r.Identical)
+	}
+}
+
+// PrintSnapshotRows formats the snapshot-restore results.
+func PrintSnapshotRows(w io.Writer, rows []SnapshotRow) {
+	fmt.Fprintf(w, "Snapshot restore — restarted-daemon first re-check (read+import+check) vs cold check (basic mode, find-all, 5%% perturbation)\n")
+	fmt.Fprintf(w, "%-8s %6s %8s %9s %10s %10s %10s %6s %8s %9s\n",
+		"size", "FECs", "entries", "bytes", "snapshot", "cold", "restore", "hits", "speedup", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %6d %8d %9d %10v %10v %10v %6d %7.2fx %9v\n",
+			r.Size, r.FECs, r.Entries, r.SnapshotBytes,
+			r.SnapshotElapsed.Round(10*time.Microsecond),
+			r.ColdElapsed.Round(time.Millisecond),
+			r.RestoreElapsed.Round(100*time.Microsecond),
+			r.CacheHits, r.Speedup, r.Identical)
 	}
 }
 

@@ -53,6 +53,18 @@ const (
 	// under an already-expired context, so the check reports undecided
 	// FECs that must never be cached.
 	ServeJob Site = "serve.job"
+	// StoreSnapshotWrite guards the durable verdict-snapshot write
+	// (internal/store.Write). Panic crashes after a torn partial temp
+	// file is on disk — the crash-mid-snapshot scenario, which must
+	// leave any previously committed snapshot intact; Transient and
+	// Timeout make the write fail cleanly before touching the
+	// destination.
+	StoreSnapshotWrite Site = "store.snapshot.write"
+	// StoreRestore guards the snapshot read/decode path
+	// (internal/store.Read). Panic crashes mid-restore — the caller
+	// (jinjingd rehydration) must recover and fall back to a cold
+	// start; Transient makes the read fail with a retryable error.
+	StoreRestore Site = "store.restore"
 )
 
 // Kind is the fault injected at a site.

@@ -224,25 +224,42 @@ func (l *Logger) Close() error {
 }
 
 // ReadFile parses every decision record in a ledger file, for replay
-// and audit tooling.
-func ReadFile(path string) ([]Record, error) {
+// and audit tooling. Alongside the records it reports how many damaged
+// lines were skipped (see Parse); the error is reserved for failing to
+// read the file at all.
+func ReadFile(path string) ([]Record, int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return Parse(data)
+	recs, skipped := Parse(data)
+	return recs, skipped, nil
 }
 
-// Parse decodes JSONL ledger content into records.
-func Parse(data []byte) ([]Record, error) {
-	var out []Record
-	dec := json.NewDecoder(bytes.NewReader(data))
-	for dec.More() {
-		var r Record
-		if err := dec.Decode(&r); err != nil {
-			return out, fmt.Errorf("declog: record %d: %w", len(out)+1, err)
+// Parse decodes JSONL ledger content into records, one line at a time.
+// A crash can tear the final append mid-line (the ledger is appended
+// without fsync), and bit rot can damage any line; an undecodable line
+// is skipped and counted, never failing the whole replay — an audit
+// trail that survives the crash minus one record beats no audit trail.
+// The skipped count is the caller's signal that the ledger lost data.
+func Parse(data []byte) (recs []Record, skipped int) {
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
 		}
-		out = append(out, r)
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			skipped++
+			continue
+		}
+		recs = append(recs, r)
 	}
-	return out, nil
+	return recs, skipped
 }

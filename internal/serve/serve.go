@@ -31,8 +31,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -71,9 +73,37 @@ type Config struct {
 	// next job runs cold on the solver but still replays verdicts. 0
 	// disables idle eviction.
 	SessionTTL time.Duration
+	// StateDir, when set, makes sessions durable across daemon
+	// restarts: each PUT persists the session's build recipe (manifest)
+	// and the verdict cache is snapshotted on a periodic interval, on
+	// idle eviction, and at shutdown — all atomically, so a crash at
+	// any moment leaves readable state. After a restart, a request
+	// naming a persisted session rehydrates it lazily on first use;
+	// torn, corrupt, or version-mismatched state degrades to a cold
+	// start (counted in daemon.restore.{ok,corrupt,stale}), never a
+	// wrong verdict.
+	StateDir string
+	// SnapshotInterval is the cadence of the periodic verdict-cache
+	// snapshot pass when StateDir is set. 0 defaults to 30s; negative
+	// disables the periodic pass (eviction- and shutdown-time snapshots
+	// still run).
+	SnapshotInterval time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight jobs to
+	// finish before shutting the HTTP server down. During the drain new
+	// jobs get the structured "draining" 503 + Retry-After. 0 defaults
+	// to 10s; negative skips the wait.
+	DrainTimeout time.Duration
 }
 
-const defaultMaxInFlight = 8
+const (
+	defaultMaxInFlight      = 8
+	defaultSnapshotInterval = 30 * time.Second
+	defaultDrainTimeout     = 10 * time.Second
+	// retryJitterSpan spreads Retry-After hints over [0, span) extra
+	// seconds so synchronized clients don't re-stampede admission on
+	// the same second.
+	retryJitterSpan = 3
+)
 
 // Server is one daemon instance. Construct with New, bind with Listen
 // (or mount Handler under a test harness), stop with Close.
@@ -92,15 +122,35 @@ type Server struct {
 
 	inflight atomic.Int64
 
+	// draining gates admission during shutdown: once set, job POSTs and
+	// session PUTs get the structured "draining" 503 instead of racing
+	// the listener close.
+	draining atomic.Bool
+
+	// state is the durable session store (nil without Config.StateDir);
+	// stateErr defers a state-directory setup failure to Listen.
+	// restoreMu serializes lazy rehydrations (cold engine builds are
+	// expensive; concurrent first touches of one name must not race).
+	state     *stateStore
+	stateErr  error
+	restoreMu sync.Mutex
+
 	mux  *http.ServeMux
 	srv  *http.Server
 	lis  net.Listener
 	done chan struct{}
 
 	// reapStop ends the idle-session reaper; reapOnce makes Close
-	// idempotent about it.
+	// idempotent about it. snapStop/snapOnce do the same for the
+	// periodic snapshot loop.
 	reapStop chan struct{}
 	reapOnce sync.Once
+	snapStop chan struct{}
+	snapOnce sync.Once
+
+	// retryJitter returns a pseudo-random int in [0, n); tests override
+	// it for deterministic Retry-After assertions.
+	retryJitter func(n int) int
 
 	// testGate, when set, is called inside the session critical section
 	// before a job executes — the test suite uses it to hold admission
@@ -139,12 +189,41 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	// Telemetry surface: /metrics, /healthz, /events (SSE), /debug/pprof/.
 	s.mux.Handle("/", s.stats.Handler())
+	s.retryJitter = func(n int) int {
+		if n <= 0 {
+			return 0
+		}
+		return rand.Intn(n)
+	}
 	if cfg.SessionTTL > 0 {
 		s.reapStop = make(chan struct{})
 		go s.reapLoop()
 	}
+	if cfg.StateDir != "" {
+		st, err := newStateStore(cfg.StateDir)
+		if err != nil {
+			// Defer the failure to Listen: a daemon asked to be durable
+			// must not silently serve without durability.
+			s.stateErr = err
+		} else {
+			s.state = st
+			interval := cfg.SnapshotInterval
+			if interval == 0 {
+				interval = defaultSnapshotInterval
+			}
+			if interval > 0 {
+				s.snapStop = make(chan struct{})
+				go s.snapshotLoop(interval)
+			}
+		}
+	}
 	return s
 }
+
+// retrySec is a Retry-After hint: base seconds plus jitter, so a herd
+// of synchronized clients refused in the same second spreads its
+// retries instead of re-stampeding admission together.
+func (s *Server) retrySec(base int) int { return base + s.retryJitter(retryJitterSpan) }
 
 // reapLoop periodically releases the warm solver state of sessions that
 // have idled past SessionTTL. It checks at a quarter of the TTL so a
@@ -185,6 +264,11 @@ func (s *Server) reapIdle(now time.Time) {
 		// Re-check under the lock: a job may have just finished and
 		// re-warmed the engine inside the window.
 		if sess.engine.SessionWarm() && sess.idleSince(now) >= s.cfg.SessionTTL {
+			// Persist before releasing: eviction is exactly the moment a
+			// warm cache would otherwise only live in memory.
+			if s.state != nil && sess.dirty.Load() {
+				s.persistLocked(sess.name, sess)
+			}
 			sess.engine.ReleaseSession()
 			sess.warm.Store(false)
 			s.observer.Counter("daemon.sessions.idle_released").Inc()
@@ -202,8 +286,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Observer() *obs.Observer { return s.observer }
 
 // Listen binds addr (host:port; port 0 picks a free one), starts
-// serving in a goroutine, and returns the bound address.
+// serving in a goroutine, and returns the bound address. A daemon
+// configured with a StateDir that could not be prepared refuses to
+// serve: durability was asked for and cannot be silently dropped.
 func (s *Server) Listen(addr string) (string, error) {
+	if s.stateErr != nil {
+		return "", s.stateErr
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -218,14 +307,46 @@ func (s *Server) Listen(addr string) (string, error) {
 	return lis.Addr().String(), nil
 }
 
-// Close shuts the daemon down: stops the listener, ends /events
+// Close shuts the daemon down gracefully: it stops admitting new jobs
+// (POSTs and PUTs get the structured "draining" 503 + Retry-After),
+// waits up to DrainTimeout for in-flight jobs to finish, snapshots
+// every durable session, then stops the listener, ends /events
 // streams, and releases every session (closing its ledger and solver
-// session). In-flight jobs holding a session lock finish first.
+// session).
 func (s *Server) Close() error {
-	var err error
+	// 1. Stop admitting. Requests that already passed the gate keep
+	// their in-flight slots; everything arriving after this point is
+	// refused with a retryable error instead of a torn connection.
+	if s.draining.CompareAndSwap(false, true) {
+		s.observer.Counter("daemon.drain.started").Inc()
+	}
 	if s.reapStop != nil {
 		s.reapOnce.Do(func() { close(s.reapStop) })
 	}
+	if s.snapStop != nil {
+		s.snapOnce.Do(func() { close(s.snapStop) })
+	}
+
+	// 2. Drain: wait for the in-flight count to reach zero, bounded by
+	// DrainTimeout (0 → default, negative → skip the wait entirely).
+	drain := s.cfg.DrainTimeout
+	if drain == 0 {
+		drain = defaultDrainTimeout
+	}
+	if drain > 0 {
+		deadline := time.Now().Add(drain)
+		for s.inflight.Load() > 0 {
+			if time.Now().After(deadline) {
+				s.observer.Counter("daemon.drain.timeouts").Inc()
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// 3. Stop the HTTP server. With admission closed and the drain done
+	// this is quick; the shutdown context only bounds stragglers.
+	var err error
 	if s.srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		err = s.srv.Shutdown(ctx)
@@ -237,17 +358,191 @@ func (s *Server) Close() error {
 		s.srv = nil
 	}
 	s.stats.Close() //nolint:errcheck // closes hub subscribers; never bound
+
+	// 4. Snapshot and release every session. A session whose lock cannot
+	// be taken within a second (a wedged job) is abandoned rather than
+	// blocking shutdown — its last periodic snapshot still stands.
 	s.mu.Lock()
 	sessions := s.sessions
 	s.sessions = map[string]*session{}
 	s.closed = true
 	s.mu.Unlock()
-	for _, sess := range sessions {
-		sess.mu.Lock()
+	for name, sess := range sessions {
+		if !lockWithin(&sess.mu, time.Second) {
+			s.observer.Counter("daemon.drain.abandoned_sessions").Inc()
+			continue
+		}
+		if s.state != nil {
+			s.persistLocked(name, sess)
+		}
 		sess.closeLocked()
 		sess.mu.Unlock()
 	}
+	s.observer.Counter("daemon.drain.completed").Inc()
 	return err
+}
+
+// lockWithin tries to take mu for up to d, polling — shutdown must not
+// hang forever on a wedged job's session lock.
+func lockWithin(mu *sync.Mutex, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if mu.TryLock() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// ---- durable state ----
+
+// snapshotLoop periodically persists the verdict cache of every dirty
+// durable session.
+func (s *Server) snapshotLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			s.snapshotAll()
+		}
+	}
+}
+
+// snapshotAll runs one snapshot pass. A session busy with a job is
+// skipped (TryLock), not waited on — the next pass or the job's
+// eviction/shutdown snapshot will catch it.
+func (s *Server) snapshotAll() {
+	s.mu.Lock()
+	type named struct {
+		name string
+		sess *session
+	}
+	sessions := make([]named, 0, len(s.sessions))
+	for name, sess := range s.sessions {
+		sessions = append(sessions, named{name, sess})
+	}
+	s.mu.Unlock()
+	for _, n := range sessions {
+		if !n.sess.dirty.Load() {
+			continue
+		}
+		if !n.sess.mu.TryLock() {
+			continue
+		}
+		s.persistLocked(n.name, n.sess)
+		n.sess.mu.Unlock()
+	}
+}
+
+// persistLocked snapshots one session's verdict cache (sess.mu held).
+// A cache with nothing to export (never bound — no job ran yet) is
+// skipped silently; a write failure is counted and the dirty flag kept
+// so the next pass retries.
+func (s *Server) persistLocked(name string, sess *session) {
+	if s.state == nil {
+		return
+	}
+	snap := sess.engine.ExportVerdicts()
+	if snap == nil {
+		return
+	}
+	if err := s.state.saveSnapshot(name, snap); err != nil {
+		s.observer.Counter("daemon.snapshots.errors").Inc()
+		return
+	}
+	sess.dirty.Store(false)
+	s.observer.Counter("daemon.snapshots.written").Inc()
+}
+
+// rehydrate rebuilds a persisted session after a restart: the manifest
+// replays the original PUT, and the verdict snapshot — when readable
+// and matching the rebuilt engine's configuration digest — re-warms the
+// cache. Any damage along the way degrades to a cold session (or, for
+// a damaged manifest, no session), never a wrong verdict.
+func (s *Server) rehydrate(name string) *session {
+	if s.state == nil || !validSessionName(name) || s.draining.Load() {
+		return nil
+	}
+	// Serialize rehydrations: engine builds are expensive and two
+	// concurrent first touches of one name must not both build it.
+	s.restoreMu.Lock()
+	defer s.restoreMu.Unlock()
+	if sess := s.lookup(name); sess != nil {
+		return sess
+	}
+
+	req, err := s.state.loadManifest(name)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.observer.Counter("daemon.restore.corrupt").Inc()
+		}
+		return nil
+	}
+	var ledger *declog.Logger
+	var ledgerPath string
+	if s.cfg.DecisionLogDir != "" {
+		ledgerPath = filepath.Join(s.cfg.DecisionLogDir, name+".jsonl")
+		if ledger, err = declog.Open(ledgerPath, declog.Options{}); err != nil {
+			s.observer.Counter("daemon.restore.corrupt").Inc()
+			return nil
+		}
+	}
+	sess, err := newSession(name, req, s.observer, ledger, ledgerPath)
+	if err != nil {
+		ledger.Close() //nolint:errcheck // best-effort on failed rebuild
+		s.observer.Counter("daemon.restore.corrupt").Inc()
+		return nil
+	}
+	outcome := s.restoreSnapshot(name, sess)
+	s.observer.Counter("daemon.restore." + outcome).Inc()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.mu.Lock()
+		sess.closeLocked()
+		sess.mu.Unlock()
+		return nil
+	}
+	s.sessions[name] = sess
+	s.mu.Unlock()
+	s.observer.Counter("daemon.sessions.restored").Inc()
+	return sess
+}
+
+// restoreSnapshot loads a session's verdict snapshot into its freshly
+// built engine, classifying the outcome: "ok" (imported, or no
+// snapshot on disk — a cold session is fine), "stale" (version gate),
+// or "corrupt" (torn bytes, checksum failure, digest mismatch, or a
+// panic out of the restore path). Every non-ok outcome leaves the
+// session cold and usable.
+func (s *Server) restoreSnapshot(name string, sess *session) (outcome string) {
+	defer func() {
+		if r := recover(); r != nil {
+			outcome = "corrupt"
+		}
+	}()
+	snap, err := s.state.loadSnapshot(name)
+	if err != nil {
+		switch {
+		case os.IsNotExist(err):
+			return "ok" // no snapshot yet; cold is correct
+		case isStaleState(err):
+			return "stale"
+		default:
+			return "corrupt"
+		}
+	}
+	if err := sess.engine.ImportVerdicts(snap); err != nil {
+		return "corrupt"
+	}
+	return "ok"
 }
 
 // caps returns the per-job option ceilings.
@@ -262,6 +557,12 @@ func (s *Server) caps() jobCaps {
 // ---- session endpoints ----
 
 func (s *Server) handleSessionPut(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.observer.Counter("daemon.jobs.drained_rejected").Inc()
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: "draining",
+			Message: "daemon is draining for shutdown", RetryAfterSec: s.retrySec(1)})
+		return
+	}
 	name := r.PathValue("name")
 	if !validSessionName(name) {
 		writeError(w, http.StatusBadRequest, &APIError{Code: "bad_request",
@@ -319,6 +620,14 @@ func (s *Server) handleSessionPut(w http.ResponseWriter, r *http.Request) {
 		old.mu.Unlock()
 		status = http.StatusOK
 	}
+	if s.state != nil {
+		// Persist the build recipe; the old snapshot (if any) belongs to
+		// the replaced session's configuration and must not linger.
+		s.state.removeSnapshot(name)
+		if err := s.state.saveManifest(name, req); err != nil {
+			s.observer.Counter("daemon.snapshots.errors").Inc()
+		}
+	}
 	s.observer.Counter("daemon.sessions.loaded").Inc()
 	writeJSON(w, status, sess.info())
 }
@@ -329,8 +638,18 @@ func (s *Server) lookup(name string) *session {
 	return s.sessions[name]
 }
 
+// lookupOrRestore finds a loaded session, falling back to lazy
+// rehydration from the state directory: after a restart, the first
+// request naming a persisted session rebuilds it on the spot.
+func (s *Server) lookupOrRestore(name string) *session {
+	if sess := s.lookup(name); sess != nil {
+		return sess
+	}
+	return s.rehydrate(name)
+}
+
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookup(r.PathValue("name"))
+	sess := s.lookupOrRestore(r.PathValue("name"))
 	if sess == nil {
 		writeError(w, http.StatusNotFound, &APIError{Code: "not_found",
 			Message: fmt.Sprintf("no session %q", r.PathValue("name"))})
@@ -345,7 +664,17 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	sess := s.sessions[name]
 	delete(s.sessions, name)
 	s.mu.Unlock()
+	// Drop persisted state too — even for a session that was never
+	// rehydrated this run, DELETE must forget it durably.
+	var hadState bool
+	if s.state != nil && validSessionName(name) {
+		hadState = s.state.remove(name)
+	}
 	if sess == nil {
+		if hadState {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 		writeError(w, http.StatusNotFound, &APIError{Code: "not_found",
 			Message: fmt.Sprintf("no session %q", name)})
 		return
@@ -374,7 +703,15 @@ func (s *Server) jobHandler(kind string) http.HandlerFunc {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind string) {
-	sess := s.lookup(r.PathValue("name"))
+	// Drain gate before anything else: a shutting-down daemon answers
+	// with a structured, retryable refusal instead of a torn connection.
+	if s.draining.Load() {
+		s.observer.Counter("daemon.jobs.drained_rejected").Inc()
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: "draining",
+			Message: "daemon is draining for shutdown", RetryAfterSec: s.retrySec(1)})
+		return
+	}
+	sess := s.lookupOrRestore(r.PathValue("name"))
 	if sess == nil {
 		writeError(w, http.StatusNotFound, &APIError{Code: "not_found",
 			Message: fmt.Sprintf("no session %q", r.PathValue("name"))})
@@ -399,16 +736,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind string) 
 	}
 	if ok, retry := s.quotas.admit(tenant); !ok {
 		s.observer.Counter("daemon.jobs.quota_rejected").Inc()
-		sec := int(retry/time.Second) + 1
 		writeError(w, http.StatusTooManyRequests, &APIError{Code: "quota_exhausted",
-			Message: fmt.Sprintf("tenant %q is out of admission tokens", tenant), RetryAfterSec: sec})
+			Message:       fmt.Sprintf("tenant %q is out of admission tokens", tenant),
+			RetryAfterSec: s.retrySec(int(retry/time.Second) + 1)})
 		return
 	}
 	if n := s.inflight.Add(1); s.cfg.MaxInFlight > 0 && n > int64(s.cfg.MaxInFlight) {
 		s.inflight.Add(-1)
 		s.observer.Counter("daemon.jobs.saturated").Inc()
 		writeError(w, http.StatusTooManyRequests, &APIError{Code: "saturated",
-			Message: fmt.Sprintf("daemon is at its in-flight job bound (%d)", s.cfg.MaxInFlight), RetryAfterSec: 1})
+			Message:       fmt.Sprintf("daemon is at its in-flight job bound (%d)", s.cfg.MaxInFlight),
+			RetryAfterSec: s.retrySec(1)})
 		return
 	}
 	defer s.inflight.Add(-1)
@@ -493,7 +831,7 @@ func statusFor(e *APIError) int {
 		return http.StatusTooManyRequests
 	case "unknown_verdicts":
 		return http.StatusUnprocessableEntity
-	case "transient_fault", "canceled":
+	case "transient_fault", "canceled", "draining":
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -58,6 +58,11 @@ type session struct {
 	lastUsed atomic.Int64
 	warm     atomic.Bool
 
+	// dirty marks verdict-cache state not yet persisted to the state
+	// directory. Set after every job (any job may add cache entries,
+	// even one that failed mid-way); cleared by a successful snapshot.
+	dirty atomic.Bool
+
 	devices, paths, fecs int
 }
 
@@ -163,9 +168,11 @@ func (s *session) closeLocked() {
 // strictly serialized, so the engine and verdict cache see a single
 // writer.
 func (s *session) runLocked(ctx context.Context, jobID, kind string, req *JobRequest, caps jobCaps) (any, *APIError) {
-	// Every job resets the idle clock and refreshes the warm flag, even
-	// on the error paths — a failed job still touched the engine.
+	// Every job resets the idle clock, refreshes the warm flag, and
+	// marks the cache dirty for the snapshotter, even on the error
+	// paths — a failed job still touched the engine.
 	defer s.touch(time.Now())
+	defer s.dirty.Store(true)
 	// Fault-injection hit-point for the daemon suite: a panic here
 	// simulates a crashed job handler (the server's recover answers 500
 	// and the deferred unlock keeps the session usable), a transient

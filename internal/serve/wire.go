@@ -229,7 +229,8 @@ type APIError struct {
 	// Code is a stable machine-readable cause: "bad_request",
 	// "not_found", "conflict", "saturated", "quota_exhausted",
 	// "unknown_verdicts", "job_panic", "transient_fault", "canceled",
-	// or "internal".
+	// "draining" (the daemon is shutting down; retry against its
+	// replacement after RetryAfterSec), or "internal".
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	// RetryAfterSec mirrors the Retry-After header on 429/503 responses.

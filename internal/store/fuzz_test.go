@@ -1,0 +1,156 @@
+package store_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"jinjing/internal/core"
+	"jinjing/internal/papernet"
+	"jinjing/internal/store"
+)
+
+// The restore path's safety contract, fuzzed: arbitrary bytes — and,
+// more adversarially, mutations of a valid snapshot — fed to
+// Decode+Import must yield a cold start (a structured error) or a
+// cache whose replayed verdicts are byte-identical to a cold check.
+// Never a panic, and never an entry that changes a verdict. This is
+// the same agreement surface the PR 4 incremental fuzz harness pins
+// for in-memory warm engines (checkSignature equality against a fresh
+// cold engine), applied to the durable path.
+
+var fuzzBaseline struct {
+	once sync.Once
+	// valid is the canonical encoded snapshot used to seed mutations.
+	valid []byte
+	// want is the cold check signature every successful restore must
+	// reproduce.
+	want string
+}
+
+func baseline(tb testing.TB) ([]byte, string) {
+	fuzzBaseline.once.Do(func() {
+		before := papernet.Build()
+		after := paperUpdate(before)
+		opts := core.DefaultOptions()
+		opts.FindAllViolations = true
+		opts.Verdicts = core.NewVerdictCache()
+		warm := core.New(before, after, papernet.Scope(), opts)
+		warm.Check()
+		snap := warm.ExportVerdicts()
+		if snap == nil {
+			tb.Fatal("no baseline snapshot")
+		}
+		fuzzBaseline.valid = store.Encode(snap)
+
+		coldOpts := core.DefaultOptions()
+		coldOpts.FindAllViolations = true
+		cold := core.New(before.Clone(), after.Clone(), papernet.Scope(), coldOpts).Check()
+		fuzzBaseline.want = restoreSignature(cold)
+	})
+	return fuzzBaseline.valid, fuzzBaseline.want
+}
+
+// restoreSignature canonicalizes a check result the way the PR 4
+// harness does: verdict, completeness, every violation packet with its
+// classes and divergent paths, every unknown.
+func restoreSignature(res *core.CheckResult) string {
+	var b strings.Builder
+	b.WriteString("consistent=")
+	if res.Consistent {
+		b.WriteString("t")
+	} else {
+		b.WriteString("f")
+	}
+	b.WriteString(" complete=")
+	if res.Complete {
+		b.WriteString("t")
+	} else {
+		b.WriteString("f")
+	}
+	b.WriteString("\n")
+	for _, v := range res.Violations {
+		b.WriteString("pkt=" + v.Packet.String() + " classes=")
+		for _, c := range v.Classes {
+			b.WriteString(c.String() + ",")
+		}
+		b.WriteString(" paths=[")
+		for _, p := range v.Paths {
+			b.WriteString(p.Key() + " ")
+		}
+		b.WriteString("]\n")
+	}
+	for _, u := range res.Unknown {
+		b.WriteString("unknown reason=" + u.Reason + "\n")
+	}
+	return b.String()
+}
+
+// restoreAndCheck runs the full restore path on raw snapshot bytes:
+// decode, import into a freshly built engine, and — when both succeed
+// — a warm check whose signature must equal the cold baseline. It
+// reports whether the bytes restored successfully.
+func restoreAndCheck(t *testing.T, data []byte, want string) bool {
+	t.Helper()
+	snap, err := store.Decode(data)
+	if err != nil {
+		return false // cold start; exactly what damaged bytes must yield
+	}
+	before := papernet.Build()
+	after := paperUpdate(before)
+	opts := core.DefaultOptions()
+	opts.FindAllViolations = true
+	opts.Verdicts = core.NewVerdictCache()
+	restored := core.New(before, after, papernet.Scope(), opts)
+	if err := restored.ImportVerdicts(snap); err != nil {
+		// Refused: must still leave a usable cold engine.
+		res := restored.Check()
+		if got := restoreSignature(res); got != want {
+			t.Fatalf("post-refusal cold check diverged:\ngot:\n%s\nwant:\n%s", got, want)
+		}
+		return false
+	}
+	res := restored.Check()
+	if got := restoreSignature(res); got != want {
+		t.Fatalf("restored check diverged from cold baseline:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	return true
+}
+
+// FuzzSnapshotRestore feeds arbitrary bytes to the restore path.
+func FuzzSnapshotRestore(f *testing.F) {
+	valid, _ := baseline(f)
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:20]) // header only, payload gone
+	mut := append([]byte(nil), valid...)
+	mut[8] = 0x7f // version bump
+	f.Add(mut)
+	mut2 := append([]byte(nil), valid...)
+	mut2[len(mut2)-1] ^= 0x40 // payload bit flip
+	f.Add(mut2)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, want := baseline(t)
+		restoreAndCheck(t, data, want)
+	})
+}
+
+// TestSnapshotRestoreMutationSweep is the deterministic arm of the same
+// contract, run on every `go test`: the valid snapshot itself must
+// restore and replay byte-identically; every truncation and a sweep of
+// bit flips must yield cold start or an identical replay.
+func TestSnapshotRestoreMutationSweep(t *testing.T) {
+	valid, want := baseline(t)
+	if !restoreAndCheck(t, valid, want) {
+		t.Fatal("the canonical valid snapshot failed to restore")
+	}
+	for n := 0; n < len(valid); n += 7 {
+		restoreAndCheck(t, valid[:n], want)
+	}
+	for off := 0; off < len(valid); off++ {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 1 << (off % 8)
+		restoreAndCheck(t, mut, want)
+	}
+}

@@ -1,0 +1,473 @@
+// Package store persists core.VerdictSnapshot values durably: a
+// versioned, checksummed binary encoding written atomically (temp file
+// + fsync + rename + parent-directory fsync), so a reader sees either
+// the previous complete snapshot or the new complete snapshot, never a
+// torn one. The decoder is defensive — every length field is validated
+// against the remaining payload before allocation, a checksum guards
+// the whole payload against truncation and bit flips, and a version
+// gate separates "corrupt" from "written by a different release" — so
+// hostile or damaged bytes yield a structured error, never a panic or
+// a silently wrong cache entry. The jinjingd daemon treats any Read
+// error as a cold start.
+//
+// Wire layout (all little-endian):
+//
+//	offset  size  field
+//	0       8     magic "jjvcsnp\n"
+//	8       2     version (currently 1)
+//	10      2     reserved (zero)
+//	12      8     CRC-32C of the payload (zero-extended)
+//	20      ...   payload
+//
+// Payload:
+//
+//	u32 len(config) + config bytes
+//	u32 nfec
+//	u32 npairs, npairs × (u64, u64)   fingerprint-pair table (Pairs)
+//	per FEC: uvarint count, then per entry:
+//	  u8 flags (bit0 hadJob, bit1 violating, bit2 witness,
+//	            bit3 rawKey; other bits invalid)
+//	  if witness: u32 SrcIP, u32 DstIP, u16 SrcPort, u16 DstPort,
+//	              u8 Proto (13 bytes)
+//	  if rawKey:  uvarint klen, klen × u64 key words
+//	  else:       uvarint nslots, nslots × uvarint key word
+//	              (0 = unbound slot, w ≤ npairs = Pairs[w-1])
+//
+// Verdict key words are already references into the snapshot's pair
+// table (core.VerdictSnapshot.Pairs) — one per binding slot — so the
+// common case stores one varint per slot. The decoder validates every
+// reference against the table; an entry whose words exceed it (only
+// possible in a hand-built snapshot) is carried verbatim under the
+// rawKey flag, keeping the encoding lossless.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"jinjing/internal/core"
+	"jinjing/internal/faultinject"
+	"jinjing/internal/header"
+)
+
+// Version is the current snapshot format version. A file carrying any
+// other version decodes to a StaleError — the daemon falls back to a
+// cold start rather than guessing at another release's layout.
+const Version = 1
+
+const (
+	magic      = "jjvcsnp\n"
+	headerSize = len(magic) + 2 + 2 + 8
+
+	// maxConfigLen bounds the config digest string; the engine emits a
+	// 16-hex-char digest, so anything past this is hostile input.
+	maxConfigLen = 1 << 12
+)
+
+// CorruptError reports a snapshot whose bytes cannot be trusted: bad
+// magic, a failed checksum (truncation, bit flip), or a structurally
+// invalid payload.
+type CorruptError struct{ Reason string }
+
+func (e *CorruptError) Error() string { return "store: corrupt snapshot: " + e.Reason }
+
+// StaleError reports a structurally sound snapshot written under a
+// different format version.
+type StaleError struct{ Version uint16 }
+
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("store: snapshot version %d (want %d)", e.Version, Version)
+}
+
+// IsCorrupt reports whether err is a CorruptError.
+func IsCorrupt(err error) bool {
+	var c *CorruptError
+	return errors.As(err, &c)
+}
+
+// IsStale reports whether err is a StaleError.
+func IsStale(err error) bool {
+	var s *StaleError
+	return errors.As(err, &s)
+}
+
+// entry flag bits.
+const (
+	flagHadJob    = 1 << 0
+	flagViolating = 1 << 1
+	flagWitness   = 1 << 2
+	flagRawKey    = 1 << 3
+)
+
+// Encode serializes a snapshot. The encoding is deterministic: equal
+// snapshots (core.Export canonicalizes the pair table and sorts each
+// FEC's entries) encode to equal bytes.
+func Encode(snap *core.VerdictSnapshot) []byte {
+	var payload []byte
+	u32 := func(v uint32) { payload = binary.LittleEndian.AppendUint32(payload, v) }
+	u64 := func(v uint64) { payload = binary.LittleEndian.AppendUint64(payload, v) }
+	u16 := func(v uint16) { payload = binary.LittleEndian.AppendUint16(payload, v) }
+	uv := func(v uint64) { payload = binary.AppendUvarint(payload, v) }
+	u32(uint32(len(snap.Config)))
+	payload = append(payload, snap.Config...)
+	u32(uint32(snap.NFEC))
+	u32(uint32(len(snap.Pairs)))
+	for _, pair := range snap.Pairs {
+		u64(pair[0])
+		u64(pair[1])
+	}
+	npairs := uint64(len(snap.Pairs))
+	for _, ents := range snap.Entries {
+		uv(uint64(len(ents)))
+		for _, ent := range ents {
+			raw := false
+			for _, w := range ent.Key {
+				if w > npairs {
+					raw = true
+					break
+				}
+			}
+			var flags byte
+			if ent.HadJob {
+				flags |= flagHadJob
+			}
+			if ent.Violating {
+				flags |= flagViolating
+			}
+			if ent.Witness != nil {
+				flags |= flagWitness
+			}
+			if raw {
+				flags |= flagRawKey
+			}
+			payload = append(payload, flags)
+			if ent.Witness != nil {
+				u32(ent.Witness.SrcIP)
+				u32(ent.Witness.DstIP)
+				u16(ent.Witness.SrcPort)
+				u16(ent.Witness.DstPort)
+				payload = append(payload, ent.Witness.Proto)
+			}
+			uv(uint64(len(ent.Key)))
+			for _, w := range ent.Key {
+				if raw {
+					u64(w)
+				} else {
+					uv(w)
+				}
+			}
+		}
+	}
+
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, 0)
+	out = binary.LittleEndian.AppendUint64(out, checksum(payload))
+	return append(out, payload...)
+}
+
+// crcTable is the Castagnoli polynomial, chosen for its hardware
+// instruction on the common platforms — the checksum pass must not
+// dominate restore time.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum is CRC-32C over the payload, zero-extended into the
+// header's 8-byte checksum field.
+func checksum(data []byte) uint64 {
+	return uint64(crc32.Checksum(data, crcTable))
+}
+
+// decoder walks the payload with bounds checks on every read.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.off }
+
+func (d *decoder) u32(what string) (uint32, error) {
+	if d.remaining() < 4 {
+		return 0, &CorruptError{Reason: "truncated " + what}
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64(what string) (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, &CorruptError{Reason: "truncated " + what}
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) u16(what string) (uint16, error) {
+	if d.remaining() < 2 {
+		return 0, &CorruptError{Reason: "truncated " + what}
+	}
+	v := binary.LittleEndian.Uint16(d.data[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) byte(what string) (byte, error) {
+	if d.remaining() < 1 {
+		return 0, &CorruptError{Reason: "truncated " + what}
+	}
+	v := d.data[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, &CorruptError{Reason: "truncated or overlong " + what}
+	}
+	d.off += n
+	return v, nil
+}
+
+// Decode parses snapshot bytes, validating magic, version, checksum,
+// and payload structure. Errors are CorruptError or StaleError.
+func Decode(data []byte) (*core.VerdictSnapshot, error) {
+	if len(data) < headerSize {
+		return nil, &CorruptError{Reason: fmt.Sprintf("short file (%d bytes)", len(data))}
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, &CorruptError{Reason: "bad magic"}
+	}
+	ver := binary.LittleEndian.Uint16(data[len(magic):])
+	if ver != Version {
+		return nil, &StaleError{Version: ver}
+	}
+	sum := binary.LittleEndian.Uint64(data[len(magic)+4:])
+	payload := data[headerSize:]
+	if checksum(payload) != sum {
+		return nil, &CorruptError{Reason: "checksum mismatch"}
+	}
+
+	d := &decoder{data: payload}
+	clen, err := d.u32("config length")
+	if err != nil {
+		return nil, err
+	}
+	if int(clen) > maxConfigLen || int(clen) > d.remaining() {
+		return nil, &CorruptError{Reason: fmt.Sprintf("config length %d out of range", clen)}
+	}
+	cfg := string(d.data[d.off : d.off+int(clen)])
+	d.off += int(clen)
+
+	nfec, err := d.u32("fec count")
+	if err != nil {
+		return nil, err
+	}
+	// Each FEC contributes at least a 1-byte entry count.
+	if int64(nfec) > int64(d.remaining()) {
+		return nil, &CorruptError{Reason: fmt.Sprintf("fec count %d exceeds payload", nfec)}
+	}
+	npairs, err := d.u32("pair table size")
+	if err != nil {
+		return nil, err
+	}
+	if int64(npairs)*16 > int64(d.remaining()) {
+		return nil, &CorruptError{Reason: fmt.Sprintf("pair table size %d exceeds payload", npairs)}
+	}
+	table := make([][2]uint64, npairs)
+	for i := range table {
+		if table[i][0], err = d.u64("pair table entry"); err != nil {
+			return nil, err
+		}
+		if table[i][1], err = d.u64("pair table entry"); err != nil {
+			return nil, err
+		}
+	}
+	snap := &core.VerdictSnapshot{
+		Config:  cfg,
+		NFEC:    int(nfec),
+		Pairs:   table,
+		Entries: make([][]core.VerdictEntry, nfec),
+	}
+	// All key words accumulate into one arena, and entries get their
+	// slices carved out after the walk (append may relocate the backing
+	// array) — per-key allocations and growth copies dominate decode
+	// time otherwise. len(payload) words is a capacity heuristic, not a
+	// bound (a 1-byte slot reference expands to 3 words); append grows
+	// past it in the rare snapshots that exceed it.
+	arena := make([]uint64, 0, len(payload))
+	type keyRef struct{ fec, idx, lo, hi int }
+	var refs []keyRef
+	for i := 0; i < int(nfec); i++ {
+		count, err := d.uvarint("entry count")
+		if err != nil {
+			return nil, err
+		}
+		// Each entry is at least flags(1) + key/slot length(1) bytes.
+		if count*2 > uint64(d.remaining()) {
+			return nil, &CorruptError{Reason: fmt.Sprintf("fec %d: entry count %d exceeds payload", i, count)}
+		}
+		if count == 0 {
+			continue
+		}
+		ents := make([]core.VerdictEntry, 0, count)
+		for j := uint64(0); j < count; j++ {
+			flags, err := d.byte("flags")
+			if err != nil {
+				return nil, err
+			}
+			if flags&^byte(flagHadJob|flagViolating|flagWitness|flagRawKey) != 0 {
+				return nil, &CorruptError{Reason: fmt.Sprintf("fec %d: invalid flags %#x", i, flags)}
+			}
+			ent := core.VerdictEntry{
+				HadJob:    flags&flagHadJob != 0,
+				Violating: flags&flagViolating != 0,
+			}
+			if flags&flagWitness != 0 {
+				var pkt header.Packet
+				if pkt.SrcIP, err = d.u32("witness src ip"); err != nil {
+					return nil, err
+				}
+				if pkt.DstIP, err = d.u32("witness dst ip"); err != nil {
+					return nil, err
+				}
+				if pkt.SrcPort, err = d.u16("witness src port"); err != nil {
+					return nil, err
+				}
+				if pkt.DstPort, err = d.u16("witness dst port"); err != nil {
+					return nil, err
+				}
+				if pkt.Proto, err = d.byte("witness proto"); err != nil {
+					return nil, err
+				}
+				ent.Witness = &pkt
+			}
+			lo := len(arena)
+			klen, err := d.uvarint("key length")
+			if err != nil {
+				return nil, err
+			}
+			if flags&flagRawKey != 0 {
+				if klen*8 > uint64(d.remaining()) {
+					return nil, &CorruptError{Reason: fmt.Sprintf("fec %d: key length %d exceeds payload", i, klen)}
+				}
+				for k := uint64(0); k < klen; k++ {
+					w, err := d.u64("key word")
+					if err != nil {
+						return nil, err
+					}
+					arena = append(arena, w)
+				}
+			} else {
+				// Each key word is at least 1 byte.
+				if klen > uint64(d.remaining()) {
+					return nil, &CorruptError{Reason: fmt.Sprintf("fec %d: key length %d exceeds payload", i, klen)}
+				}
+				for k := uint64(0); k < klen; k++ {
+					w, err := d.uvarint("key word")
+					if err != nil {
+						return nil, err
+					}
+					if w > uint64(len(table)) {
+						return nil, &CorruptError{Reason: fmt.Sprintf("fec %d: key word %d exceeds pair table (%d)", i, w, len(table))}
+					}
+					arena = append(arena, w)
+				}
+			}
+			if hi := len(arena); hi > lo {
+				refs = append(refs, keyRef{fec: i, idx: len(ents), lo: lo, hi: hi})
+			}
+			ents = append(ents, ent)
+		}
+		snap.Entries[i] = ents
+	}
+	for _, r := range refs {
+		snap.Entries[r.fec][r.idx].Key = arena[r.lo:r.hi:r.hi]
+	}
+	if d.remaining() != 0 {
+		return nil, &CorruptError{Reason: fmt.Sprintf("%d trailing payload bytes", d.remaining())}
+	}
+	return snap, nil
+}
+
+// Write encodes snap and writes it to path atomically. On any error
+// (or a crash at any point) the previous file at path — if one existed
+// — remains intact and readable.
+func Write(path string, snap *core.VerdictSnapshot) error {
+	data := Encode(snap)
+	switch faultinject.Fire(faultinject.StoreSnapshotWrite) {
+	case faultinject.Panic:
+		// Crash mid-snapshot: a torn temp file is on disk, the committed
+		// file is untouched. Restart-recovery tests assert the stray temp
+		// never shadows or corrupts the real snapshot.
+		os.WriteFile(path+".crash-tmp", data[:len(data)/2], 0o644) //nolint:errcheck // crashing anyway
+		panic("faultinject: injected store.snapshot.write crash")
+	case faultinject.Transient, faultinject.Timeout:
+		return fmt.Errorf("store: injected transient snapshot-write fault")
+	}
+	return WriteFileAtomic(path, data)
+}
+
+// Read loads and decodes the snapshot at path. Besides decode errors
+// it returns the underlying *PathError when the file cannot be read
+// (notably fs.ErrNotExist, which callers treat as "no snapshot" rather
+// than corruption).
+func Read(path string) (*core.VerdictSnapshot, error) {
+	switch faultinject.Fire(faultinject.StoreRestore) {
+	case faultinject.Panic:
+		panic("faultinject: injected store.restore crash")
+	case faultinject.Transient, faultinject.Timeout:
+		return nil, fmt.Errorf("store: injected transient restore fault")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// WriteFileAtomic writes data to path through a same-directory temp
+// file, fsync, rename, and parent-directory fsync — the
+// all-or-nothing discipline every durable file in the state directory
+// (snapshots, session manifests) goes through.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()        //nolint:errcheck // already failing
+		os.Remove(tmpName) //nolint:errcheck // best-effort
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName) //nolint:errcheck // best-effort
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName) //nolint:errcheck // best-effort
+		return err
+	}
+	// Persist the rename itself. Some platforms/filesystems refuse
+	// directory fsync; the rename is still atomic, so best-effort.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // best-effort durability of the rename
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"jinjing/internal/acl"
+	"jinjing/internal/core"
+	"jinjing/internal/faultinject"
+	"jinjing/internal/papernet"
+	"jinjing/internal/store"
+	"jinjing/internal/topo"
+)
+
+// paperUpdate applies a §3.2-style update to a clone of the Figure 1
+// network: hoist the D2/C1 denies up to A1 and clear them at the
+// originals.
+func paperUpdate(n *topo.Network) *topo.Network {
+	after := n.Clone()
+	a1, _ := after.LookupInterface("A:1")
+	a1.SetACL(topo.In, acl.MustParse(
+		"deny dst 1.0.0.0/8, deny dst 2.0.0.0/8, deny dst 6.0.0.0/8, permit all"))
+	c1, _ := after.LookupInterface("C:1")
+	c1.SetACL(topo.In, acl.PermitAll())
+	return after
+}
+
+// buildSnapshot runs the paper's running example warm and exports its
+// verdict cache — a realistic snapshot with both discharged and
+// solver-decided entries, violating and consistent verdicts.
+func buildSnapshot(t testing.TB) *core.VerdictSnapshot {
+	t.Helper()
+	before := papernet.Build()
+	opts := core.DefaultOptions()
+	opts.FindAllViolations = true
+	opts.Verdicts = core.NewVerdictCache()
+	e := core.New(before, paperUpdate(before), papernet.Scope(), opts)
+	e.Check()
+	snap := e.ExportVerdicts()
+	if snap == nil || snap.NumEntries() == 0 {
+		t.Fatal("no exportable snapshot from the running example")
+	}
+	return snap
+}
+
+func TestStoreRoundtrip(t *testing.T) {
+	snap := buildSnapshot(t)
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := store.Write(path, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := store.Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatal("round-tripped snapshot differs from the original")
+	}
+}
+
+func TestStoreEncodeDeterministic(t *testing.T) {
+	snap := buildSnapshot(t)
+	a, b := store.Encode(snap), store.Encode(snap)
+	if string(a) != string(b) {
+		t.Fatal("two encodings of the same snapshot differ")
+	}
+}
+
+func TestStoreReadMissingFile(t *testing.T) {
+	_, err := store.Read(filepath.Join(t.TempDir(), "absent.snap"))
+	if err == nil {
+		t.Fatal("Read of a missing file succeeded")
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("want a not-exist error, got %v", err)
+	}
+	if store.IsCorrupt(err) || store.IsStale(err) {
+		t.Fatalf("missing file misreported as corrupt/stale: %v", err)
+	}
+}
+
+// TestStoreTruncation pins the torn-write story: every proper prefix of
+// a valid snapshot file must decode to a corruption error, never to a
+// snapshot or a panic.
+func TestStoreTruncation(t *testing.T) {
+	data := store.Encode(buildSnapshot(t))
+	for n := 0; n < len(data); n++ {
+		_, err := store.Decode(data[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded successfully", n, len(data))
+		}
+		if !store.IsCorrupt(err) && !store.IsStale(err) {
+			t.Fatalf("truncation to %d bytes: unexpected error type %v", n, err)
+		}
+	}
+}
+
+// TestStoreBitFlip pins the checksum story: flipping any single bit
+// either fails decoding outright or (for the reserved header bytes the
+// checksum deliberately does not cover) decodes to the identical
+// snapshot — never to a silently different one.
+func TestStoreBitFlip(t *testing.T) {
+	snap := buildSnapshot(t)
+	data := store.Encode(snap)
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			got, err := store.Decode(mut)
+			if err != nil {
+				continue
+			}
+			if !reflect.DeepEqual(snap, got) {
+				t.Fatalf("bit flip at byte %d bit %d decoded to a different snapshot", off, bit)
+			}
+		}
+	}
+}
+
+func TestStoreVersionGate(t *testing.T) {
+	data := store.Encode(buildSnapshot(t))
+	mut := append([]byte(nil), data...)
+	mut[8] = 0x7f // version low byte (little-endian u16 at offset 8)
+	_, err := store.Decode(mut)
+	if err == nil {
+		t.Fatal("future-versioned snapshot decoded successfully")
+	}
+	if !store.IsStale(err) {
+		t.Fatalf("want StaleError, got %v", err)
+	}
+	if store.IsCorrupt(err) {
+		t.Fatal("version mismatch misreported as corruption")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unhelpful stale error: %v", err)
+	}
+}
+
+// TestStoreWriteReplacesAtomically pins that a rewrite replaces the
+// previous snapshot wholesale and leaves no temp litter behind.
+func TestStoreWriteReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	snap := buildSnapshot(t)
+	if err := store.Write(path, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// Mutate and rewrite.
+	snap2 := *snap
+	snap2.Config = "feedfacefeedface"
+	if err := store.Write(path, &snap2); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	got, err := store.Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Config != snap2.Config {
+		t.Fatalf("read back config %q, want %q", got.Config, snap2.Config)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "cache.snap" {
+			t.Fatalf("leftover file %q after atomic writes", e.Name())
+		}
+	}
+}
+
+// TestFaultSnapshotWriteCrash simulates a crash mid-snapshot: the
+// injected panic leaves a torn temp file behind, and the previously
+// committed snapshot must read back bit-identically.
+func TestFaultSnapshotWriteCrash(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.snap")
+	snap := buildSnapshot(t)
+	if err := store.Write(path, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	cancel := faultinject.Schedule(faultinject.StoreSnapshotWrite, faultinject.Panic)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduled store.snapshot.write panic did not fire")
+			}
+		}()
+		snap2 := *snap
+		snap2.Config = "feedfacefeedface"
+		store.Write(path, &snap2) //nolint:errcheck // panics
+	}()
+	cancel()
+	if faultinject.Hits(faultinject.StoreSnapshotWrite) == 0 {
+		t.Fatal("store.snapshot.write site never fired")
+	}
+
+	got, err := store.Read(path)
+	if err != nil {
+		t.Fatalf("committed snapshot unreadable after crash-mid-write: %v", err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatal("committed snapshot changed under a crashed rewrite")
+	}
+	// The torn temp litter must itself be detectably corrupt.
+	if _, err := store.Read(path + ".crash-tmp"); err == nil || !store.IsCorrupt(err) {
+		t.Fatalf("torn temp file did not read as corrupt: %v", err)
+	}
+}
+
+// TestFaultSnapshotWriteTransient: a clean injected failure must leave
+// the destination untouched.
+func TestFaultSnapshotWriteTransient(t *testing.T) {
+	defer faultinject.Reset()
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	snap := buildSnapshot(t)
+	if err := store.Write(path, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	cancel := faultinject.Schedule(faultinject.StoreSnapshotWrite, faultinject.Transient)
+	snap2 := *snap
+	snap2.Config = "feedfacefeedface"
+	if err := store.Write(path, &snap2); err == nil {
+		t.Fatal("injected transient write fault did not surface")
+	}
+	cancel()
+	got, err := store.Read(path)
+	if err != nil || got.Config != snap.Config {
+		t.Fatalf("destination changed under a failed write: %v", err)
+	}
+}
+
+// TestFaultRestore: the restore site's injected faults surface as an
+// error or a panic the caller can recover from — the daemon's
+// rehydration treats both as a cold start.
+func TestFaultRestore(t *testing.T) {
+	defer faultinject.Reset()
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := store.Write(path, buildSnapshot(t)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	cancel := faultinject.Schedule(faultinject.StoreRestore, faultinject.Transient)
+	if _, err := store.Read(path); err == nil {
+		t.Fatal("injected transient restore fault did not surface")
+	}
+	cancel()
+
+	cancel = faultinject.Schedule(faultinject.StoreRestore, faultinject.Panic)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduled store.restore panic did not fire")
+			}
+		}()
+		store.Read(path) //nolint:errcheck // panics
+	}()
+	cancel()
+
+	// With nothing armed the snapshot still reads fine.
+	if _, err := store.Read(path); err != nil {
+		t.Fatalf("Read after faults: %v", err)
+	}
+}
